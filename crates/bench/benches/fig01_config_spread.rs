@@ -1,0 +1,82 @@
+//! Figure 1 — Motivation: spread of execution times across tuning configurations (left)
+//! and run-to-run variation of three fixed configurations in the cloud (right).
+//!
+//! Left panel: the CDF of execution time over 250 randomly chosen Redis configurations,
+//! showing a >3x spread and the vast majority of configurations at least 2x slower than
+//! the best. Right panel: 1000 cloud executions of three chosen configurations (A, B, C)
+//! showing large run-to-run variation.
+//!
+//! Run with `cargo bench --bench fig01_config_spread`.
+
+use dg_bench::{standard_workload, ExperimentScale};
+use dg_cloudsim::{CloudEnvironment, InterferenceProfile, SimRng, VmType};
+use dg_stats::{Column, EmpiricalCdf, Table};
+use dg_workloads::Application;
+
+fn main() {
+    let scale = ExperimentScale::default_scale();
+    let workload = standard_workload(Application::Redis, &scale);
+    let cloud = CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 101);
+    let mut rng = SimRng::new(7);
+
+    // ---- Left panel: 250 random configurations, dedicated execution times ----
+    let configs = workload.random_configs(250, &mut rng);
+    let times: Vec<f64> = configs.iter().map(|id| workload.base_time(*id)).collect();
+    let cdf = EmpiricalCdf::from_samples(&times);
+    println!("=== Figure 1 (left): CDF of execution time across 250 random configurations ===");
+    println!("best observed      : {:.1} s", cdf.min());
+    println!("worst observed     : {:.1} s", cdf.max());
+    println!("spread (worst/best): {:.2}x", cdf.max() / cdf.min());
+    let twice_best = 2.0 * cdf.min();
+    println!(
+        "configurations >= 2x best: {:.1} % (paper: more than 93 %)",
+        100.0 * (1.0 - cdf.fraction_at_or_below(twice_best))
+    );
+    let mut cdf_table = Table::new(vec![
+        Column::right("execution time (s)"),
+        Column::right("% of configurations <= t"),
+    ]);
+    for (value, fraction) in cdf.sampled_points(10) {
+        cdf_table.push_row(vec![format!("{value:.0}"), format!("{:.1}", fraction * 100.0)]);
+    }
+    println!("\n{}", cdf_table.render());
+
+    // ---- Right panel: repeated cloud executions of three chosen configurations ----
+    // A = a fast configuration, B/C = progressively slower ones (mirrors the paper's
+    // average execution times of 440 s / 617 s / 678 s).
+    let mut sorted = configs.clone();
+    sorted.sort_by(|a, b| {
+        workload
+            .base_time(*a)
+            .partial_cmp(&workload.base_time(*b))
+            .expect("times are not NaN")
+    });
+    let selected = [
+        ("A", sorted[sorted.len() / 10]),
+        ("B", sorted[sorted.len() / 2]),
+        ("C", sorted[sorted.len() * 7 / 10]),
+    ];
+    println!("=== Figure 1 (right): run-to-run variation of configurations A, B, C ===");
+    let mut run_table = Table::new(vec![
+        Column::left("config"),
+        Column::right("mean (s)"),
+        Column::right("min (s)"),
+        Column::right("max (s)"),
+        Column::right("max variation (%)"),
+        Column::right("CoV (%)"),
+    ]);
+    for (label, id) in selected {
+        let runs = cloud.observe_repeated(workload.spec(id), 1_000, 600.0);
+        let summary = dg_stats::Summary::from_slice(&runs);
+        run_table.push_row(vec![
+            label.into(),
+            format!("{:.1}", summary.mean()),
+            format!("{:.1}", summary.min()),
+            format!("{:.1}", summary.max()),
+            format!("{:.1}", 100.0 * (summary.max() - summary.min()) / summary.min()),
+            format!("{:.1}", summary.coefficient_of_variation()),
+        ]);
+    }
+    println!("{}", run_table.render());
+    println!("(paper: execution time of a fixed configuration can vary by up to ~45 % across runs)");
+}

@@ -1,0 +1,81 @@
+//! Figure 2 — Motivation: coefficient of variation versus mean execution time for 250
+//! random configurations.
+//!
+//! The paper's scatter plot shows (a) different configurations have very different
+//! sensitivity to interference, (b) faster configurations tend to vary *more*, and (c) a
+//! small set of configurations (blue markers) combine low execution time with low
+//! variation — the configurations a cloud-aware tuner should find.
+//!
+//! Run with `cargo bench --bench fig02_cov_scatter`.
+
+use dg_bench::{standard_workload, ExperimentScale};
+use dg_cloudsim::{CloudEnvironment, InterferenceProfile, SimRng, VmType};
+use dg_stats::{Column, Table};
+use dg_workloads::Application;
+
+fn main() {
+    let scale = ExperimentScale::default_scale();
+    let workload = standard_workload(Application::Redis, &scale);
+    let cloud = CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 202);
+    let mut rng = SimRng::new(17);
+
+    let configs = workload.random_configs(250, &mut rng);
+    let mut points: Vec<(f64, f64)> = Vec::with_capacity(configs.len());
+    for id in &configs {
+        let runs = cloud.observe_repeated(workload.spec(*id), 120, 900.0);
+        points.push((
+            dg_stats::coefficient_of_variation(&runs),
+            dg_stats::mean(&runs),
+        ));
+    }
+
+    println!("=== Figure 2: CoV vs mean execution time (250 random Redis configurations) ===\n");
+
+    // Bucket the scatter by mean execution time and report the average CoV per bucket,
+    // which makes the "faster configurations vary more" trend visible in text form.
+    let min_mean = points.iter().map(|(_, m)| *m).fold(f64::INFINITY, f64::min);
+    let max_mean = points.iter().map(|(_, m)| *m).fold(0.0_f64, f64::max);
+    let buckets = 6usize;
+    let mut table = Table::new(vec![
+        Column::right("mean time bucket (s)"),
+        Column::right("configs"),
+        Column::right("avg CoV (%)"),
+        Column::right("max CoV (%)"),
+    ]);
+    for b in 0..buckets {
+        let lo = min_mean + (max_mean - min_mean) * b as f64 / buckets as f64;
+        let hi = min_mean + (max_mean - min_mean) * (b + 1) as f64 / buckets as f64;
+        let in_bucket: Vec<f64> = points
+            .iter()
+            .filter(|(_, m)| *m >= lo && (*m < hi || b == buckets - 1))
+            .map(|(cov, _)| *cov)
+            .collect();
+        if in_bucket.is_empty() {
+            continue;
+        }
+        table.push_row(vec![
+            format!("{lo:.0}-{hi:.0}"),
+            format!("{}", in_bucket.len()),
+            format!("{:.2}", dg_stats::mean(&in_bucket)),
+            format!("{:.2}", in_bucket.iter().copied().fold(0.0_f64, f64::max)),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // The "blue markers": configurations that are both fast and stable.
+    let fast_threshold = min_mean * 1.35;
+    let stable_threshold = 2.0;
+    let blue = points
+        .iter()
+        .filter(|(cov, m)| *m <= fast_threshold && *cov <= stable_threshold)
+        .count();
+    println!(
+        "fast AND stable configurations (mean <= {:.0} s, CoV <= {:.1} %): {} of {} ({:.1} %)",
+        fast_threshold,
+        stable_threshold,
+        blue,
+        points.len(),
+        100.0 * blue as f64 / points.len() as f64
+    );
+    println!("(paper: such configurations exist but are rare — they are the tuner's real target)");
+}

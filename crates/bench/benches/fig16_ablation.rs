@@ -1,0 +1,73 @@
+//! Figure 16 — Ablation study of DarwinGame's tournament structure.
+//!
+//! Each design element of the tournament is disabled in turn (no regional phase, single
+//! regional winner, no Swiss style, no global phase, no double elimination, no barrage,
+//! no consistency score, no execution score, only 2-player games, no early termination)
+//! and the resulting execution time, variability, and tuning cost are reported as a
+//! percentage increase over the full DarwinGame design.
+//!
+//! Run with `cargo bench --bench fig16_ablation`.
+
+use darwin_core::AblationConfig;
+use dg_bench::{run_darwin_with_ablation, ExperimentScale};
+use dg_stats::{Column, Table};
+use dg_workloads::Application;
+
+/// The ablations of Fig. 16, in the paper's order.
+fn ablations() -> Vec<(&'static str, AblationConfig)> {
+    let full = AblationConfig::full();
+    vec![
+        ("w/o regional", AblationConfig { regional_phase: false, ..full }),
+        ("one-win regional", AblationConfig { single_regional_winner: true, ..full }),
+        ("w/o Swiss", AblationConfig { swiss_regional: false, ..full }),
+        ("w/o global", AblationConfig { global_phase: false, ..full }),
+        ("w/o double eli.", AblationConfig { double_elimination: false, ..full }),
+        ("w/o barrage", AblationConfig { barrage_playoffs: false, ..full }),
+        ("w/o consistency score", AblationConfig { consistency_score: false, ..full }),
+        ("w/o exe. score", AblationConfig { execution_score: false, ..full }),
+        ("all 2-player games", AblationConfig { multiplayer_games: false, ..full }),
+        ("w/o early termination", AblationConfig { early_termination: false, ..full }),
+    ]
+}
+
+fn main() {
+    // The ablation sweep multiplies the tournament count by 11, so it uses a slightly
+    // smaller per-tournament scale than the other figures.
+    let mut scale = ExperimentScale::default_scale();
+    scale.regions = 128;
+    scale.space_size = 80_000;
+
+    println!("=== Figure 16: ablation of DarwinGame's tournament structure ===");
+    println!("(percent increase over the full design; positive = worse)\n");
+
+    let mut table = Table::new(vec![
+        Column::left("application"),
+        Column::left("ablation"),
+        Column::right("exec time (+%)"),
+        Column::right("CoV (+pp)"),
+        Column::right("core-hours (+%)"),
+    ]);
+
+    for app in Application::ALL {
+        let full = run_darwin_with_ablation(app, &scale, 5, 505, AblationConfig::full());
+        for (name, ablation) in ablations() {
+            let ablated = run_darwin_with_ablation(app, &scale, 5, 505, ablation);
+            table.push_row(vec![
+                app.name().into(),
+                name.into(),
+                format!(
+                    "{:.1}",
+                    dg_stats::percent_change(ablated.mean_time, full.mean_time)
+                ),
+                format!("{:.2}", ablated.cov_percent - full.cov_percent),
+                format!(
+                    "{:.1}",
+                    dg_stats::percent_change(ablated.core_hours, full.core_hours)
+                ),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("(paper: removing any phase/score hurts execution time or variability; removing");
+    println!(" multi-player games or early termination inflates core-hours by >30 %)");
+}

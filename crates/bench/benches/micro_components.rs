@@ -1,0 +1,100 @@
+//! Micro-benchmarks (Criterion) of the implementation's hot paths.
+//!
+//! These do not reproduce a paper figure; they track the performance of the simulator and
+//! tournament building blocks so that regressions in the reproduction's own code are
+//! visible: surface evaluation, interference sampling, a single co-located game, the GP
+//! surrogate fit used by BLISS, and a small end-to-end tournament.
+//!
+//! Run with `cargo bench --bench micro_components`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use darwin_core::{play_game, DarwinGame, GameOptions, TournamentConfig};
+use dg_cloudsim::{CloudEnvironment, InterferenceProfile, SimTime, VmType};
+use dg_tuners::GaussianProcess;
+use dg_workloads::{Application, PerformanceSurface, Workload};
+use std::hint::black_box;
+
+fn bench_surface_evaluation(c: &mut Criterion) {
+    let workload = Workload::scaled(Application::Redis, 100_000);
+    c.bench_function("surface_spec_lookup", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            id = (id + 7919) % workload.size();
+            black_box(workload.surface().spec(id))
+        })
+    });
+}
+
+fn bench_interference_sampling(c: &mut Criterion) {
+    let model = InterferenceProfile::typical().build(42);
+    c.bench_function("interference_level", |b| {
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 13.7;
+            black_box(model.level(SimTime::from_seconds(t)))
+        })
+    });
+}
+
+fn bench_single_game(c: &mut Criterion) {
+    let workload = Workload::scaled(Application::Redis, 50_000);
+    let configs: Vec<u64> = (0..16).map(|i| i * (workload.size() / 17)).collect();
+    c.bench_function("colocated_game_16_players", |b| {
+        b.iter_batched(
+            || CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 3),
+            |mut cloud| {
+                black_box(play_game(
+                    &mut cloud,
+                    &workload,
+                    &configs,
+                    GameOptions::default(),
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_gp_fit(c: &mut Criterion) {
+    let points: Vec<Vec<f64>> = (0..96)
+        .map(|i| vec![(i % 10) as f64 / 9.0, (i / 10) as f64 / 9.0])
+        .collect();
+    let targets: Vec<f64> = points.iter().map(|p| 300.0 + 100.0 * (p[0] - p[1])).collect();
+    c.bench_function("gp_fit_96_points", |b| {
+        b.iter(|| {
+            let mut gp = GaussianProcess::new(0.2, 1e-3);
+            gp.fit(black_box(&points), black_box(&targets));
+            black_box(gp.predict(&[0.5, 0.5]))
+        })
+    });
+}
+
+fn bench_small_tournament(c: &mut Criterion) {
+    let workload = Workload::scaled(Application::Redis, 8_000);
+    c.bench_function("tournament_16_regions", |b| {
+        b.iter_batched(
+            || {
+                let mut config = TournamentConfig::scaled(16, 1);
+                config.players_per_game = Some(8);
+                config.parallel_regions = false;
+                (
+                    DarwinGame::new(config),
+                    CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 9),
+                )
+            },
+            |(game, mut cloud)| black_box(game.run(&workload, &mut cloud)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_surface_evaluation,
+        bench_interference_sampling,
+        bench_single_game,
+        bench_gp_fit,
+        bench_small_tournament
+);
+criterion_main!(micro);

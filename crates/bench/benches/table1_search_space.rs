@@ -1,0 +1,51 @@
+//! Table 1 — Tunable parameters and search-space sizes per application.
+//!
+//! Prints, for every evaluated application, the application-level parameters, the shared
+//! system-level parameters, and the size of the modelled search space next to the size
+//! reported in the paper.
+//!
+//! Run with `cargo bench --bench table1_search_space`.
+
+use dg_stats::{Column, Table};
+use dg_workloads::{Application, Workload, SYSTEM_LEVEL_PARAMETERS};
+
+fn main() {
+    println!("=== Table 1: parameters and search-space sizes ===\n");
+
+    let mut table = Table::new(vec![
+        Column::left("application"),
+        Column::right("app-level params"),
+        Column::right("system-level params"),
+        Column::right("modelled size"),
+        Column::right("paper size"),
+        Column::right("ratio"),
+    ]);
+
+    for app in Application::ALL {
+        let workload = Workload::full(app);
+        let modelled = workload.size();
+        let paper = app.paper_search_space_size();
+        table.push_row(vec![
+            app.name().into(),
+            format!("{}", app.application_parameters().len()),
+            format!("{}", SYSTEM_LEVEL_PARAMETERS.len()),
+            format!("{modelled}"),
+            format!("{paper}"),
+            format!("{:.2}", modelled as f64 / paper as f64),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("Application-level parameters:");
+    for app in Application::ALL {
+        println!("  {:<8} {}", app.name(), app.application_parameters().join(", "));
+    }
+    println!(
+        "\nSystem-level parameters (shared): {}",
+        SYSTEM_LEVEL_PARAMETERS.join(", ")
+    );
+    println!(
+        "\n(The modelled size is the cross product of the level counts assigned to each parameter;"
+    );
+    println!(" counts are chosen so the total stays at or just below the paper's reported size.)");
+}

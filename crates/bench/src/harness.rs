@@ -1,0 +1,225 @@
+//! The experiment harness shared by every figure/table benchmark.
+
+use crate::scale::ExperimentScale;
+use darwin_core::{DarwinGame, HybridDarwinGame, TournamentConfig};
+use dg_cloudsim::{CloudEnvironment, InterferenceProfile, SimTime, VmType};
+use dg_tuners::{OracleTuner, Tuner, TuningBudget, TuningOutcome};
+use dg_workloads::{Application, ConfigId, Workload};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one tuning session, re-measured the way the paper's figures report it:
+/// the chosen configuration is executed repeatedly in the cloud at later times, and its
+/// mean execution time and coefficient of variation are recorded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatedChoice {
+    /// The tuner that produced the choice.
+    pub tuner: String,
+    /// The chosen configuration.
+    pub chosen: ConfigId,
+    /// Mean execution time of the chosen configuration over repeated cloud runs (s).
+    pub mean_time: f64,
+    /// Coefficient of variation of those runs (%).
+    pub cov_percent: f64,
+    /// Core-hours spent tuning.
+    pub core_hours: f64,
+    /// Wall-clock seconds spent tuning.
+    pub wall_clock_seconds: f64,
+}
+
+/// Builds the standard (reduced-scale) workload for an application.
+pub fn standard_workload(app: Application, scale: &ExperimentScale) -> Workload {
+    Workload::scaled(app, scale.space_size)
+}
+
+/// The dedicated-environment optimum execution time for an application at this scale —
+/// the "Optimal" bar of Fig. 3/10/15.
+pub fn oracle_reference(workload: &Workload, vm: VmType) -> f64 {
+    OracleTuner::new().optimal_time(workload, vm)
+}
+
+/// The tournament configuration used by all DarwinGame runs at this scale.
+pub fn darwin_config(scale: &ExperimentScale, seed: u64) -> TournamentConfig {
+    let mut config = TournamentConfig::scaled(scale.regions, seed);
+    config.players_per_game = Some(scale.players_per_game);
+    config
+}
+
+/// Measures the chosen configuration with repeated later executions in the same cloud.
+pub fn evaluate_choice(
+    workload: &Workload,
+    cloud: &CloudEnvironment,
+    outcome: &TuningOutcome,
+    scale: &ExperimentScale,
+) -> EvaluatedChoice {
+    let runs = cloud.observe_repeated(
+        workload.spec(outcome.chosen),
+        scale.evaluation_runs,
+        scale.evaluation_spacing,
+    );
+    EvaluatedChoice {
+        tuner: outcome.tuner.clone(),
+        chosen: outcome.chosen,
+        mean_time: dg_stats::mean(&runs),
+        cov_percent: dg_stats::coefficient_of_variation(&runs),
+        core_hours: outcome.core_hours,
+        wall_clock_seconds: outcome.wall_clock_seconds,
+    }
+}
+
+/// Runs one baseline tuner on a fresh cloud environment and evaluates its choice.
+///
+/// `start_time` lets Fig. 3 tune at different times of day; pass 0 for the default.
+pub fn run_baseline(
+    tuner: &mut dyn Tuner,
+    app: Application,
+    scale: &ExperimentScale,
+    env_seed: u64,
+    start_time: f64,
+) -> EvaluatedChoice {
+    let workload = standard_workload(app, scale);
+    let mut cloud =
+        CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), env_seed);
+    if start_time > 0.0 {
+        cloud.set_clock(SimTime::from_seconds(start_time));
+    }
+    let budget = if tuner.name() == "Exhaustive" {
+        TuningBudget::evaluations(scale.exhaustive_budget)
+    } else {
+        TuningBudget::evaluations(scale.baseline_budget)
+    };
+    let outcome = tuner.tune(&workload, &mut cloud, budget);
+    evaluate_choice(&workload, &cloud, &outcome, scale)
+}
+
+/// Runs DarwinGame on a fresh cloud environment and evaluates its choice.
+pub fn run_darwin(
+    app: Application,
+    scale: &ExperimentScale,
+    tournament_seed: u64,
+    env_seed: u64,
+) -> EvaluatedChoice {
+    run_darwin_on_vm(app, scale, tournament_seed, env_seed, VmType::M5_8xlarge)
+}
+
+/// Runs DarwinGame on a specific VM type (Fig. 15).
+pub fn run_darwin_on_vm(
+    app: Application,
+    scale: &ExperimentScale,
+    tournament_seed: u64,
+    env_seed: u64,
+    vm: VmType,
+) -> EvaluatedChoice {
+    let workload = standard_workload(app, scale);
+    let mut cloud = CloudEnvironment::new(vm, InterferenceProfile::typical(), env_seed);
+    let mut config = darwin_config(scale, tournament_seed);
+    config.players_per_game = Some(scale.players_per_game.min(vm.vcpus()).max(2));
+    let report = DarwinGame::new(config).run(&workload, &mut cloud);
+    let outcome = report.to_outcome();
+    evaluate_choice(&workload, &cloud, &outcome, scale)
+}
+
+/// Runs DarwinGame with a modified ablation configuration (Fig. 16).
+pub fn run_darwin_with_ablation(
+    app: Application,
+    scale: &ExperimentScale,
+    tournament_seed: u64,
+    env_seed: u64,
+    ablation: darwin_core::AblationConfig,
+) -> EvaluatedChoice {
+    let workload = standard_workload(app, scale);
+    let mut cloud =
+        CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), env_seed);
+    let mut config = darwin_config(scale, tournament_seed);
+    config.ablation = ablation;
+    let report = DarwinGame::new(config).run(&workload, &mut cloud);
+    let outcome = report.to_outcome();
+    evaluate_choice(&workload, &cloud, &outcome, scale)
+}
+
+/// Runs the BLISS + DarwinGame hybrid (Fig. 13/14).
+pub fn run_hybrid_bliss(
+    app: Application,
+    scale: &ExperimentScale,
+    seed: u64,
+    env_seed: u64,
+) -> EvaluatedChoice {
+    let workload = standard_workload(app, scale);
+    let mut cloud =
+        CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), env_seed);
+    let mut tuner = HybridDarwinGame::bliss(seed)
+        .with_subspaces(16)
+        .with_explorations(6);
+    let outcome = tuner.tune(
+        &workload,
+        &mut cloud,
+        TuningBudget::evaluations(scale.baseline_budget),
+    );
+    evaluate_choice(&workload, &cloud, &outcome, scale)
+}
+
+/// Runs the ActiveHarmony + DarwinGame hybrid (Fig. 13/14).
+pub fn run_hybrid_active_harmony(
+    app: Application,
+    scale: &ExperimentScale,
+    seed: u64,
+    env_seed: u64,
+) -> EvaluatedChoice {
+    let workload = standard_workload(app, scale);
+    let mut cloud =
+        CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), env_seed);
+    let mut tuner = HybridDarwinGame::active_harmony(seed)
+        .with_subspaces(16)
+        .with_explorations(6);
+    let outcome = tuner.tune(
+        &workload,
+        &mut cloud,
+        TuningBudget::evaluations(scale.baseline_budget),
+    );
+    evaluate_choice(&workload, &cloud, &outcome, scale)
+}
+
+/// Samples the ambient interference level of the default cloud profile over a time
+/// window; used by the micro-benchmarks and by Fig. 1's right panel.
+pub fn measure_interference_trace(seed: u64, samples: usize, spacing: f64) -> Vec<f64> {
+    let cloud = CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), seed);
+    (0..samples)
+        .map(|i| cloud.interference_level(SimTime::from_seconds(i as f64 * spacing)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_tuners::RandomSearch;
+
+    #[test]
+    fn smoke_scale_baseline_and_darwin_round_trip() {
+        let scale = ExperimentScale::smoke();
+        let mut random = RandomSearch::new(1);
+        let baseline = run_baseline(&mut random, Application::Redis, &scale, 5, 0.0);
+        assert!(baseline.mean_time > 0.0);
+        assert!(baseline.core_hours > 0.0);
+
+        let darwin = run_darwin(Application::Redis, &scale, 2, 6);
+        assert_eq!(darwin.tuner, "DarwinGame");
+        assert!(darwin.mean_time > 0.0);
+        assert!(darwin.cov_percent >= 0.0);
+    }
+
+    #[test]
+    fn oracle_reference_is_lower_bound_for_choices() {
+        let scale = ExperimentScale::smoke();
+        let workload = standard_workload(Application::Ffmpeg, &scale);
+        let oracle = oracle_reference(&workload, VmType::M5_8xlarge);
+        let mut random = RandomSearch::new(3);
+        let choice = run_baseline(&mut random, Application::Ffmpeg, &scale, 9, 0.0);
+        assert!(choice.mean_time >= oracle * 0.98);
+    }
+
+    #[test]
+    fn interference_trace_is_nonnegative_and_varying() {
+        let trace = measure_interference_trace(7, 500, 60.0);
+        assert!(trace.iter().all(|v| *v >= 0.0));
+        assert!(dg_stats::std_dev(&trace) > 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Shared harness for the benchmark binaries that regenerate the paper's tables and
+//! figures.
+//!
+//! Every `benches/figXX_*.rs` target uses the helpers here so that all experiments agree
+//! on workload scale, tuner budgets, measurement protocol, and output format. The scale
+//! is deliberately reduced relative to the paper (see [`ExperimentScale`] and
+//! `EXPERIMENTS.md` at the repository root): search spaces of a few hundred thousand
+//! points instead of millions, and a few hundred regions instead of 10,000, so that the
+//! whole suite finishes in minutes on a laptop while preserving the relative coverage of
+//! DarwinGame versus the baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod harness;
+mod scale;
+
+pub use harness::{
+    darwin_config, evaluate_choice, measure_interference_trace, oracle_reference, run_baseline,
+    run_darwin, run_darwin_on_vm, run_darwin_with_ablation, run_hybrid_active_harmony,
+    run_hybrid_bliss, standard_workload, EvaluatedChoice,
+};
+pub use scale::ExperimentScale;

@@ -1,0 +1,432 @@
+//! The top-level cloud and dedicated execution environments.
+
+use crate::colocation::{ColocatedRun, ColocationOutcome};
+use crate::cost::CostTracker;
+use crate::interference::{InterferenceModel, InterferenceProfile};
+use crate::record::{RunKind, RunLog, RunRecord};
+use crate::rng::SimRng;
+use crate::spec::ExecutionSpec;
+use crate::time::SimTime;
+use crate::vm::VmType;
+use serde::{Deserialize, Serialize};
+
+/// Safety cap on simulated game length, expressed as a multiple of the slowest player's
+/// dedicated execution time. Prevents run-away integration if a pathological spec is fed
+/// to the simulator.
+const MAX_RUN_MULTIPLIER: f64 = 64.0;
+
+/// The observation returned by a committed single-configuration run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObservedRun {
+    /// Observed execution time in seconds (including interference effects).
+    pub observed_time: f64,
+    /// Simulated time at which the run started.
+    pub started_at: SimTime,
+}
+
+/// A shared, interference-prone cloud node on which tuning is performed.
+///
+/// The environment owns a simulated wall clock, an interference model for its node, a
+/// cost tracker, and a run log. All tuners (baselines and DarwinGame) evaluate
+/// configurations exclusively through this type, so they are all exposed to the same
+/// noise statistics.
+pub struct CloudEnvironment {
+    vm: VmType,
+    profile: InterferenceProfile,
+    node_seed: u64,
+    model: Box<dyn InterferenceModel>,
+    clock: SimTime,
+    cost: CostTracker,
+    rng: SimRng,
+    log: RunLog,
+}
+
+impl std::fmt::Debug for CloudEnvironment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudEnvironment")
+            .field("vm", &self.vm)
+            .field("clock", &self.clock)
+            .field("core_hours", &self.cost.core_hours())
+            .field("runs", &self.log.len())
+            .finish()
+    }
+}
+
+impl CloudEnvironment {
+    /// Creates a cloud environment on the given VM type with the given interference
+    /// profile. The `seed` controls both the node's noise realisation and all
+    /// per-game jitter, so two environments with the same arguments behave identically.
+    pub fn new(vm: VmType, profile: InterferenceProfile, seed: u64) -> Self {
+        let rng = SimRng::new(seed);
+        let node_seed = rng.derive("node").seed();
+        let model = profile.build(node_seed);
+        Self {
+            vm,
+            profile,
+            node_seed,
+            model,
+            clock: SimTime::ZERO,
+            cost: CostTracker::new(),
+            rng: rng.derive("games"),
+            log: RunLog::new(),
+        }
+    }
+
+    /// The VM type this environment simulates.
+    pub fn vm(&self) -> VmType {
+        self.vm
+    }
+
+    /// The interference profile of the node.
+    pub fn profile(&self) -> &InterferenceProfile {
+        &self.profile
+    }
+
+    /// The current simulated wall-clock time.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Moves the wall clock to `t` (used to start tuning sessions at different times of
+    /// day, as in Fig. 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current clock.
+    pub fn set_clock(&mut self, t: SimTime) {
+        assert!(
+            t.as_seconds() >= self.clock.as_seconds(),
+            "the simulated clock cannot move backwards"
+        );
+        self.clock = t;
+    }
+
+    /// Resources consumed so far.
+    pub fn cost(&self) -> &CostTracker {
+        &self.cost
+    }
+
+    /// Audit log of committed runs.
+    pub fn run_log(&self) -> &RunLog {
+        &self.log
+    }
+
+    /// Default number of players per game on this VM (its vCPU count), the paper's `P`.
+    pub fn players_per_game(&self) -> usize {
+        self.vm.vcpus()
+    }
+
+    /// The ambient interference level at time `t` (before VM scaling); exposed for
+    /// calibration tests and plotting.
+    pub fn interference_level(&self, t: SimTime) -> f64 {
+        self.model.level(t)
+    }
+
+    /// Starts a co-located game of the given configurations at the current clock.
+    ///
+    /// The returned [`ColocatedRun`] is independent of the environment; once stepping is
+    /// done, pass its outcome to [`commit`](Self::commit) (or
+    /// [`commit_parallel`](Self::commit_parallel)) to account for its cost and advance
+    /// the clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn start_colocated(&mut self, specs: &[ExecutionSpec]) -> ColocatedRun {
+        assert!(!specs.is_empty(), "a game needs at least one player");
+        let scaled: Vec<ExecutionSpec> = specs
+            .iter()
+            .map(|s| s.scaled(self.vm.speed_factor()))
+            .collect();
+        ColocatedRun::new(
+            self.vm,
+            self.clock,
+            scaled,
+            self.profile.build(self.node_seed),
+            &mut self.rng,
+        )
+    }
+
+    /// Accounts for a finished game and advances the wall clock by its elapsed time.
+    pub fn commit(&mut self, outcome: &ColocationOutcome) {
+        self.cost.charge_serial(self.vm, outcome.elapsed());
+        self.clock += outcome.elapsed();
+        self.log.push(RunRecord {
+            kind: if outcome.players() == 1 {
+                RunKind::Single
+            } else {
+                RunKind::Colocated
+            },
+            players: outcome.players(),
+            vm: self.vm,
+            start: outcome.start_time(),
+            elapsed: outcome.elapsed(),
+        });
+    }
+
+    /// Accounts for a batch of games that ran concurrently on identical VMs: every game
+    /// is charged in core-hours but the clock advances only by the longest one.
+    pub fn commit_parallel(&mut self, outcomes: &[ColocationOutcome]) {
+        if outcomes.is_empty() {
+            return;
+        }
+        let elapsed: Vec<f64> = outcomes.iter().map(ColocationOutcome::elapsed).collect();
+        self.cost.charge_parallel(self.vm, &elapsed);
+        let max_elapsed = elapsed.iter().copied().fold(0.0_f64, f64::max);
+        self.clock += max_elapsed;
+        for outcome in outcomes {
+            self.log.push(RunRecord {
+                kind: if outcome.players() == 1 {
+                    RunKind::Single
+                } else {
+                    RunKind::Colocated
+                },
+                players: outcome.players(),
+                vm: self.vm,
+                start: outcome.start_time(),
+                elapsed: outcome.elapsed(),
+            });
+        }
+    }
+
+    /// Convenience helper: runs a co-located game to completion, commits it, and returns
+    /// the outcome.
+    pub fn run_colocated_to_completion(&mut self, specs: &[ExecutionSpec]) -> ColocationOutcome {
+        let mut run = self.start_colocated(specs);
+        let cap = self.run_cap(specs);
+        run.run_to_completion(cap);
+        let outcome = run.into_outcome();
+        self.commit(&outcome);
+        outcome
+    }
+
+    /// Runs a single configuration alone on the node, committing its cost.
+    pub fn run_single(&mut self, spec: ExecutionSpec) -> ObservedRun {
+        let started_at = self.clock;
+        let outcome = self.run_colocated_to_completion(std::slice::from_ref(&spec));
+        ObservedRun {
+            observed_time: outcome.observed_times()[0],
+            started_at,
+        }
+    }
+
+    /// Observes a single run of `spec` starting at `start`, *without* committing cost or
+    /// advancing the clock.
+    ///
+    /// This models measuring the performance of an already-tuned application at an
+    /// arbitrary later time (the repeated-execution measurements behind Fig. 11 and the
+    /// error bars of Fig. 10). The `salt` decorrelates the per-run measurement jitter of
+    /// repeated observations at the same start time.
+    pub fn observe_single_at(&self, spec: ExecutionSpec, start: SimTime, salt: u64) -> f64 {
+        let mut rng = SimRng::new(self.node_seed).derive_index(salt).derive("observe");
+        let scaled = spec.scaled(self.vm.speed_factor());
+        let mut run = ColocatedRun::new(
+            self.vm,
+            start,
+            vec![scaled],
+            self.profile.build(self.node_seed),
+            &mut rng,
+        );
+        run.run_to_completion(self.run_cap(std::slice::from_ref(&spec)));
+        run.into_outcome().observed_times()[0]
+    }
+
+    /// Observes `count` runs of `spec`, spaced `spacing_seconds` apart starting from the
+    /// current clock, without committing cost. Returns the observed execution times.
+    pub fn observe_repeated(
+        &self,
+        spec: ExecutionSpec,
+        count: usize,
+        spacing_seconds: f64,
+    ) -> Vec<f64> {
+        (0..count)
+            .map(|i| {
+                let start = self.clock + spacing_seconds * i as f64;
+                self.observe_single_at(spec, start, i as u64)
+            })
+            .collect()
+    }
+
+    fn run_cap(&self, specs: &[ExecutionSpec]) -> f64 {
+        let slowest = specs
+            .iter()
+            .map(ExecutionSpec::base_time)
+            .fold(0.0_f64, f64::max);
+        slowest * MAX_RUN_MULTIPLIER
+    }
+}
+
+/// A dedicated, interference-free environment.
+///
+/// This is the (practically unaffordable) setting in which the paper defines the
+/// *optimal* configuration: no co-tenants, no contention, only negligible measurement
+/// noise.
+#[derive(Debug)]
+pub struct DedicatedEnvironment {
+    rng: SimRng,
+    cost: CostTracker,
+    vm: VmType,
+}
+
+impl DedicatedEnvironment {
+    /// Creates a dedicated environment on the given VM type.
+    pub fn new(vm: VmType, seed: u64) -> Self {
+        Self {
+            rng: SimRng::new(seed).derive("dedicated"),
+            cost: CostTracker::new(),
+            vm,
+        }
+    }
+
+    /// The VM type.
+    pub fn vm(&self) -> VmType {
+        self.vm
+    }
+
+    /// The exact dedicated-environment execution time of a configuration (no noise).
+    pub fn true_time(&self, spec: ExecutionSpec) -> f64 {
+        spec.base_time() * self.vm.speed_factor()
+    }
+
+    /// Measures one run with a small (±0.2 %) measurement noise, charging its cost.
+    pub fn measure(&mut self, spec: ExecutionSpec) -> f64 {
+        let noise = self.rng.normal_with(1.0, 0.002).clamp(0.99, 1.01);
+        let time = self.true_time(spec) * noise;
+        self.cost.charge_serial(self.vm, time);
+        time
+    }
+
+    /// Resources consumed by measurements so far.
+    pub fn cost(&self) -> &CostTracker {
+        &self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(seed: u64) -> CloudEnvironment {
+        CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), seed)
+    }
+
+    #[test]
+    fn committed_runs_advance_clock_and_cost() {
+        let mut cloud = env(1);
+        assert_eq!(cloud.clock(), SimTime::ZERO);
+        let spec = ExecutionSpec::new(120.0, 0.5);
+        let run = cloud.run_single(spec);
+        assert!(run.observed_time >= 110.0, "observed {}", run.observed_time);
+        assert!(cloud.clock().as_seconds() > 0.0);
+        assert!(cloud.cost().core_hours() > 0.0);
+        assert_eq!(cloud.run_log().len(), 1);
+    }
+
+    #[test]
+    fn observation_does_not_consume_budget() {
+        let cloud = env(2);
+        let spec = ExecutionSpec::new(100.0, 0.8);
+        let t = cloud.observe_single_at(spec, SimTime::from_seconds(1000.0), 0);
+        assert!(t >= 95.0);
+        assert_eq!(cloud.cost().core_hours(), 0.0);
+        assert_eq!(cloud.run_log().len(), 0);
+    }
+
+    #[test]
+    fn observations_are_deterministic() {
+        let cloud = env(3);
+        let spec = ExecutionSpec::new(150.0, 0.9);
+        let a = cloud.observe_single_at(spec, SimTime::from_seconds(2500.0), 7);
+        let b = cloud.observe_single_at(spec, SimTime::from_seconds(2500.0), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_observations_vary_with_time() {
+        let cloud = env(4);
+        let spec = ExecutionSpec::new(200.0, 1.0);
+        let samples = cloud.observe_repeated(spec, 40, 1800.0);
+        let cov = dg_stats::coefficient_of_variation(&samples);
+        assert!(cov > 1.0, "a sensitive config must show variability, cov={cov}");
+        // And everything is at least the dedicated time.
+        assert!(samples.iter().all(|t| *t >= 190.0));
+    }
+
+    #[test]
+    fn insensitive_config_is_stable() {
+        let cloud = env(5);
+        let sensitive = ExecutionSpec::new(200.0, 1.2);
+        let robust = ExecutionSpec::new(200.0, 0.05);
+        let cov_sensitive =
+            dg_stats::coefficient_of_variation(&cloud.observe_repeated(sensitive, 40, 1800.0));
+        let cov_robust =
+            dg_stats::coefficient_of_variation(&cloud.observe_repeated(robust, 40, 1800.0));
+        assert!(
+            cov_robust < cov_sensitive,
+            "robust={cov_robust} sensitive={cov_sensitive}"
+        );
+    }
+
+    #[test]
+    fn parallel_commit_advances_clock_by_longest() {
+        let mut cloud = env(6);
+        let specs_a = vec![ExecutionSpec::new(50.0, 0.3); 4];
+        let specs_b = vec![ExecutionSpec::new(100.0, 0.3); 4];
+        let mut run_a = cloud.start_colocated(&specs_a);
+        let mut run_b = cloud.start_colocated(&specs_b);
+        run_a.run_to_completion(10_000.0);
+        run_b.run_to_completion(10_000.0);
+        let (a, b) = (run_a.into_outcome(), run_b.into_outcome());
+        let longest = a.elapsed().max(b.elapsed());
+        cloud.commit_parallel(&[a, b]);
+        assert!((cloud.clock().as_seconds() - longest).abs() < 1e-9);
+        assert_eq!(cloud.run_log().len(), 2);
+    }
+
+    #[test]
+    fn colocated_players_share_noise() {
+        // Two identical specs in one game should finish at nearly the same time (only
+        // per-player jitter separates them), whereas two sequential single runs at very
+        // different clock times can differ a lot more. We only check the first property,
+        // which is the one DarwinGame relies on.
+        let mut cloud = env(7);
+        let spec = ExecutionSpec::new(300.0, 1.0);
+        let outcome = cloud.run_colocated_to_completion(&[spec, spec]);
+        let times = outcome.observed_times();
+        let relative_gap = (times[0] - times[1]).abs() / times[0].max(times[1]);
+        assert!(relative_gap < 0.25, "gap {relative_gap}");
+    }
+
+    #[test]
+    fn vm_speed_factor_applies() {
+        let mut fast = CloudEnvironment::new(
+            VmType::C5_9xlarge,
+            InterferenceProfile::Dedicated,
+            1,
+        );
+        let mut slow = CloudEnvironment::new(VmType::M5Large, InterferenceProfile::Dedicated, 1);
+        let spec = ExecutionSpec::new(100.0, 0.0);
+        let tf = fast.run_single(spec).observed_time;
+        let ts = slow.run_single(spec).observed_time;
+        assert!(tf < ts, "c5 ({tf}) should beat m5.large ({ts})");
+    }
+
+    #[test]
+    fn dedicated_environment_is_nearly_noise_free() {
+        let mut dedicated = DedicatedEnvironment::new(VmType::M5_8xlarge, 9);
+        let spec = ExecutionSpec::new(400.0, 1.0);
+        assert_eq!(dedicated.true_time(spec), 400.0);
+        let samples: Vec<f64> = (0..20).map(|_| dedicated.measure(spec)).collect();
+        let cov = dg_stats::coefficient_of_variation(&samples);
+        assert!(cov < 0.5, "dedicated CoV should be tiny, got {cov}");
+        assert!(dedicated.cost().core_hours() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move backwards")]
+    fn clock_cannot_go_backwards() {
+        let mut cloud = env(8);
+        cloud.set_clock(SimTime::from_seconds(100.0));
+        cloud.set_clock(SimTime::from_seconds(50.0));
+    }
+}

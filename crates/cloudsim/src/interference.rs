@@ -1,0 +1,477 @@
+//! Background interference (noisy-neighbour) models.
+//!
+//! The level of interference in a production cloud cannot be controlled by the tenant; it
+//! fluctuates on several time scales. We model it as a non-negative, time-correlated
+//! signal `I(t)` that multiplies a configuration's sensitivity to produce its slowdown
+//! (see [`crate::ExecutionSpec`]). All models allow *random access* in time — `level(t)`
+//! is a pure function of `(seed, t)` — so repeated evaluation, parallel games, and
+//! re-running experiments at a chosen start time are all deterministic.
+//!
+//! The composite profile used by most experiments ([`InterferenceProfile::typical`])
+//! combines:
+//!
+//! * [`ValueNoise`] — smooth short-term fluctuation (minutes),
+//! * [`RegimeNoise`] — piecewise-constant regime shifts (tens of minutes) imitating
+//!   tenants arriving and departing,
+//! * [`BurstNoise`] — rare, high spikes imitating bursty co-tenants.
+
+use crate::rng::{hash_unit, mix};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A time-varying, non-negative interference level.
+///
+/// Implementations must be deterministic functions of their seed and the queried time.
+pub trait InterferenceModel: Send + Sync {
+    /// Interference level at simulated time `t`; always `>= 0`.
+    fn level(&self, t: SimTime) -> f64;
+
+    /// Long-run mean level, used for calibration and reporting.
+    fn mean_level(&self) -> f64;
+}
+
+/// A constant interference level, mostly useful in tests and as a "dedicated node" stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantInterference {
+    level: f64,
+}
+
+impl ConstantInterference {
+    /// Creates a constant-level model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is negative or not finite.
+    pub fn new(level: f64) -> Self {
+        assert!(
+            level.is_finite() && level >= 0.0,
+            "interference level must be finite and non-negative"
+        );
+        Self { level }
+    }
+
+    /// A completely quiet environment.
+    pub fn quiet() -> Self {
+        Self::new(0.0)
+    }
+}
+
+impl InterferenceModel for ConstantInterference {
+    fn level(&self, _t: SimTime) -> f64 {
+        self.level
+    }
+
+    fn mean_level(&self) -> f64 {
+        self.level
+    }
+}
+
+/// Smooth value noise: anchor points every `period` seconds with cosine interpolation.
+///
+/// Produces short-term correlated fluctuations in `[0, amplitude]` with mean
+/// `amplitude / 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValueNoise {
+    seed: u64,
+    period: f64,
+    amplitude: f64,
+}
+
+impl ValueNoise {
+    /// Creates a value-noise process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period <= 0` or `amplitude < 0`.
+    pub fn new(seed: u64, period: f64, amplitude: f64) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        assert!(amplitude >= 0.0, "amplitude must be non-negative");
+        Self {
+            seed,
+            period,
+            amplitude,
+        }
+    }
+}
+
+impl InterferenceModel for ValueNoise {
+    fn level(&self, t: SimTime) -> f64 {
+        let x = t.as_seconds() / self.period;
+        let i0 = x.floor() as u64;
+        let i1 = i0 + 1;
+        let frac = x - x.floor();
+        let a = hash_unit(self.seed, i0);
+        let b = hash_unit(self.seed, i1);
+        // Cosine interpolation keeps the signal smooth without overshoot.
+        let w = (1.0 - (std::f64::consts::PI * frac).cos()) / 2.0;
+        self.amplitude * (a * (1.0 - w) + b * w)
+    }
+
+    fn mean_level(&self) -> f64 {
+        self.amplitude / 2.0
+    }
+}
+
+/// Piecewise-constant regime noise: every `period` seconds a new regime is drawn from
+/// `levels` with the given `weights`, imitating co-tenant arrival/departure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegimeNoise {
+    seed: u64,
+    period: f64,
+    levels: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl RegimeNoise {
+    /// Creates a regime-switching process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period <= 0`, the levels/weights are empty or of mismatched length, or
+    /// any weight is negative.
+    pub fn new(seed: u64, period: f64, levels: Vec<f64>, weights: Vec<f64>) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        assert!(!levels.is_empty(), "at least one regime level required");
+        assert_eq!(levels.len(), weights.len(), "levels/weights length mismatch");
+        assert!(
+            weights.iter().all(|w| *w >= 0.0) && weights.iter().sum::<f64>() > 0.0,
+            "weights must be non-negative with a positive sum"
+        );
+        Self {
+            seed,
+            period,
+            levels,
+            weights,
+        }
+    }
+
+    fn regime_at(&self, epoch: u64) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        let mut target = hash_unit(mix(self.seed, 0x5eed), epoch) * total;
+        for (level, weight) in self.levels.iter().zip(self.weights.iter()) {
+            if target < *weight {
+                return *level;
+            }
+            target -= *weight;
+        }
+        *self.levels.last().expect("levels is non-empty")
+    }
+}
+
+impl InterferenceModel for RegimeNoise {
+    fn level(&self, t: SimTime) -> f64 {
+        let epoch = (t.as_seconds() / self.period).floor() as u64;
+        self.regime_at(epoch)
+    }
+
+    fn mean_level(&self) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        self.levels
+            .iter()
+            .zip(self.weights.iter())
+            .map(|(l, w)| l * w / total)
+            .sum()
+    }
+}
+
+/// Rare bursts: within each `period`-second window, with probability `probability` the
+/// window contains a burst of the given `magnitude` covering a fraction `duty` of it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstNoise {
+    seed: u64,
+    period: f64,
+    probability: f64,
+    magnitude: f64,
+    duty: f64,
+}
+
+impl BurstNoise {
+    /// Creates a burst process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period <= 0`, `probability`/`duty` are outside `[0, 1]`, or
+    /// `magnitude < 0`.
+    pub fn new(seed: u64, period: f64, probability: f64, magnitude: f64, duty: f64) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        assert!((0.0..=1.0).contains(&probability), "probability in [0,1]");
+        assert!((0.0..=1.0).contains(&duty), "duty cycle in [0,1]");
+        assert!(magnitude >= 0.0, "magnitude must be non-negative");
+        Self {
+            seed,
+            period,
+            probability,
+            magnitude,
+            duty,
+        }
+    }
+}
+
+impl InterferenceModel for BurstNoise {
+    fn level(&self, t: SimTime) -> f64 {
+        let x = t.as_seconds() / self.period;
+        let epoch = x.floor() as u64;
+        let frac = x - x.floor();
+        let has_burst = hash_unit(mix(self.seed, 0xb00f), epoch) < self.probability;
+        if !has_burst {
+            return 0.0;
+        }
+        // The burst occupies a contiguous window starting at a pseudo-random offset.
+        let start = hash_unit(mix(self.seed, 0xcafe), epoch) * (1.0 - self.duty);
+        if frac >= start && frac < start + self.duty {
+            self.magnitude
+        } else {
+            0.0
+        }
+    }
+
+    fn mean_level(&self) -> f64 {
+        self.probability * self.duty * self.magnitude
+    }
+}
+
+/// Sum of component interference models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositeInterference {
+    base: f64,
+    value: ValueNoise,
+    regime: RegimeNoise,
+    burst: BurstNoise,
+}
+
+impl CompositeInterference {
+    /// Creates a composite of base level + value noise + regime noise + bursts.
+    pub fn new(base: f64, value: ValueNoise, regime: RegimeNoise, burst: BurstNoise) -> Self {
+        assert!(base >= 0.0, "base level must be non-negative");
+        Self {
+            base,
+            value,
+            regime,
+            burst,
+        }
+    }
+}
+
+impl InterferenceModel for CompositeInterference {
+    fn level(&self, t: SimTime) -> f64 {
+        self.base + self.value.level(t) + self.regime.level(t) + self.burst.level(t)
+    }
+
+    fn mean_level(&self) -> f64 {
+        self.base + self.value.mean_level() + self.regime.mean_level() + self.burst.mean_level()
+    }
+}
+
+/// A named, seedable recipe for building the interference model of a node.
+///
+/// Profiles are the value the rest of the system passes around (they are `Copy`-free but
+/// cheap to clone); the concrete model is instantiated per node so that two different VMs
+/// observe different — but individually reproducible — noise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InterferenceProfile {
+    /// No interference at all (a dedicated node).
+    Dedicated,
+    /// A constant interference level.
+    Constant(f64),
+    /// The default shared-cloud profile used in the paper-shaped experiments.
+    Typical,
+    /// A heavier profile for small VM sizes / stress tests.
+    Heavy,
+    /// Fully custom composite parameters: `(base, value_amplitude, regime_levels_scale, burst_magnitude)`.
+    Custom {
+        /// Constant base load.
+        base: f64,
+        /// Amplitude of the smooth value noise component.
+        value_amplitude: f64,
+        /// Scale multiplier applied to the regime levels.
+        regime_scale: f64,
+        /// Magnitude of burst spikes.
+        burst_magnitude: f64,
+    },
+}
+
+impl InterferenceProfile {
+    /// The default shared-cloud profile (mean level ≈ 0.27, bursts to ≈ 1.2).
+    pub fn typical() -> Self {
+        InterferenceProfile::Typical
+    }
+
+    /// A heavier profile: roughly twice the mean interference of [`typical`](Self::typical).
+    pub fn heavy() -> Self {
+        InterferenceProfile::Heavy
+    }
+
+    /// Instantiates the concrete model for a node identified by `seed`.
+    pub fn build(&self, seed: u64) -> Box<dyn InterferenceModel> {
+        match self {
+            InterferenceProfile::Dedicated => Box::new(ConstantInterference::quiet()),
+            InterferenceProfile::Constant(level) => Box::new(ConstantInterference::new(*level)),
+            InterferenceProfile::Typical => Box::new(build_composite(seed, 0.05, 0.25, 1.0, 0.9)),
+            InterferenceProfile::Heavy => Box::new(build_composite(seed, 0.15, 0.45, 2.0, 1.4)),
+            InterferenceProfile::Custom {
+                base,
+                value_amplitude,
+                regime_scale,
+                burst_magnitude,
+            } => Box::new(build_composite(
+                seed,
+                *base,
+                *value_amplitude,
+                *regime_scale,
+                *burst_magnitude,
+            )),
+        }
+    }
+
+    /// Long-run mean level of the profile (for calibration and documentation).
+    pub fn mean_level(&self, seed: u64) -> f64 {
+        self.build(seed).mean_level()
+    }
+}
+
+fn build_composite(
+    seed: u64,
+    base: f64,
+    value_amplitude: f64,
+    regime_scale: f64,
+    burst_magnitude: f64,
+) -> CompositeInterference {
+    let value = ValueNoise::new(mix(seed, 1), 480.0, value_amplitude);
+    let regime = RegimeNoise::new(
+        mix(seed, 2),
+        900.0,
+        vec![0.0, 0.12 * regime_scale, 0.3 * regime_scale, 0.55 * regime_scale],
+        vec![0.35, 0.35, 0.2, 0.1],
+    );
+    let burst = BurstNoise::new(mix(seed, 3), 600.0, 0.25, burst_magnitude, 0.15);
+    CompositeInterference::new(base, value, regime, burst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(n: usize, step: f64) -> impl Iterator<Item = SimTime> {
+        (0..n).map(move |i| SimTime::from_seconds(i as f64 * step))
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = ConstantInterference::new(0.4);
+        for t in times(10, 100.0) {
+            assert_eq!(m.level(t), 0.4);
+        }
+        assert_eq!(m.mean_level(), 0.4);
+    }
+
+    #[test]
+    fn value_noise_bounded_and_deterministic() {
+        let m = ValueNoise::new(7, 60.0, 0.5);
+        for t in times(500, 13.0) {
+            let v = m.level(t);
+            assert!((0.0..=0.5).contains(&v), "value noise out of range: {v}");
+            assert_eq!(v, m.level(t));
+        }
+    }
+
+    #[test]
+    fn value_noise_is_time_correlated() {
+        let m = ValueNoise::new(7, 600.0, 1.0);
+        // Adjacent samples (1s apart) should be much closer than samples far apart.
+        let a = m.level(SimTime::from_seconds(100.0));
+        let b = m.level(SimTime::from_seconds(101.0));
+        assert!((a - b).abs() < 0.05);
+    }
+
+    #[test]
+    fn regime_noise_levels_come_from_catalog() {
+        let m = RegimeNoise::new(3, 300.0, vec![0.0, 0.2, 0.6], vec![1.0, 1.0, 1.0]);
+        for t in times(100, 137.0) {
+            let v = m.level(t);
+            assert!(
+                [0.0, 0.2, 0.6].iter().any(|l| (v - l).abs() < 1e-12),
+                "unexpected regime level {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn regime_noise_mean_is_weighted() {
+        let m = RegimeNoise::new(3, 300.0, vec![0.0, 1.0], vec![3.0, 1.0]);
+        assert!((m.mean_level() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_noise_is_zero_or_magnitude() {
+        let m = BurstNoise::new(11, 600.0, 0.5, 1.5, 0.2);
+        let mut saw_burst = false;
+        for t in times(5000, 37.0) {
+            let v = m.level(t);
+            assert!(v == 0.0 || (v - 1.5).abs() < 1e-12);
+            if v > 0.0 {
+                saw_burst = true;
+            }
+        }
+        assert!(saw_burst, "expected at least one burst over a long horizon");
+    }
+
+    #[test]
+    fn typical_profile_statistics() {
+        let model = InterferenceProfile::typical().build(99);
+        let levels: Vec<f64> = times(20_000, 7.0).map(|t| model.level(t)).collect();
+        let mean = dg_stats::mean(&levels);
+        let max = levels.iter().copied().fold(0.0_f64, f64::max);
+        assert!(levels.iter().all(|l| *l >= 0.0));
+        assert!(
+            (0.1..0.6).contains(&mean),
+            "typical mean interference out of expected band: {mean}"
+        );
+        assert!(max > 0.6, "typical profile should show bursts, max={max}");
+    }
+
+    #[test]
+    fn heavy_profile_is_heavier_than_typical() {
+        let typical = InterferenceProfile::typical().build(5);
+        let heavy = InterferenceProfile::heavy().build(5);
+        let t_mean: f64 =
+            dg_stats::mean(&times(5000, 11.0).map(|t| typical.level(t)).collect::<Vec<_>>());
+        let h_mean: f64 =
+            dg_stats::mean(&times(5000, 11.0).map(|t| heavy.level(t)).collect::<Vec<_>>());
+        assert!(h_mean > t_mean * 1.3, "heavy={h_mean} typical={t_mean}");
+    }
+
+    #[test]
+    fn dedicated_profile_is_quiet() {
+        let m = InterferenceProfile::Dedicated.build(1);
+        assert_eq!(m.level(SimTime::from_seconds(123.0)), 0.0);
+        assert_eq!(m.mean_level(), 0.0);
+    }
+
+    #[test]
+    fn different_seeds_give_different_noise() {
+        let a = InterferenceProfile::typical().build(1);
+        let b = InterferenceProfile::typical().build(2);
+        let t = SimTime::from_seconds(1234.0);
+        // Not a strict requirement at any single instant, but across a window the two
+        // seeds must diverge somewhere.
+        let mut differs = false;
+        for i in 0..200 {
+            let ti = SimTime::from_seconds(t.as_seconds() + i as f64 * 31.0);
+            if (a.level(ti) - b.level(ti)).abs() > 1e-9 {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs);
+    }
+
+    #[test]
+    fn composite_mean_is_sum_of_parts() {
+        let value = ValueNoise::new(1, 60.0, 0.2);
+        let regime = RegimeNoise::new(2, 300.0, vec![0.0, 0.4], vec![1.0, 1.0]);
+        let burst = BurstNoise::new(3, 600.0, 0.1, 1.0, 0.1);
+        let composite = CompositeInterference::new(0.05, value, regime, burst);
+        let expected = 0.05 + 0.1 + 0.2 + 0.01;
+        assert!((composite.mean_level() - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,315 @@
+//! Phase II: the global phase, played in double-elimination style.
+//!
+//! Regional winners are grouped into multi-player games; within each round, groups are
+//! built to mix players from different regions (diversity). Group winners stay in the
+//! main bracket; everyone else drops into the loser bracket instead of being eliminated.
+//! Games are judged by the *sum* of each player's execution-score rank and
+//! consistency-score rank, so that only configurations that are both fast and repeatable
+//! advance. When the main bracket is small enough, the best players of the loser bracket
+//! play one game whose winner receives a wild-card entry into the playoffs.
+
+use crate::config::TournamentConfig;
+use crate::game::{play_game, GameOptions};
+use crate::player::Player;
+use crate::score::combined_ranking;
+use dg_cloudsim::CloudEnvironment;
+use dg_workloads::{ConfigId, Workload};
+use serde::{Deserialize, Serialize};
+
+/// The result of the global phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalOutcome {
+    /// Main-bracket survivors that advance to the playoffs.
+    pub finalists: Vec<Player>,
+    /// The loser-bracket wild card, if double elimination is enabled and anyone lost.
+    pub wildcard: Option<Player>,
+    /// Number of games played in this phase.
+    pub games_played: usize,
+    /// Number of rounds played in the main bracket.
+    pub rounds: usize,
+}
+
+impl GlobalOutcome {
+    /// All players advancing to the playoffs (finalists plus the wild card).
+    pub fn playoff_players(&self) -> Vec<Player> {
+        let mut players = self.finalists.clone();
+        if let Some(wildcard) = &self.wildcard {
+            if !players.iter().any(|p| p.config() == wildcard.config()) {
+                players.push(wildcard.clone());
+            }
+        }
+        players
+    }
+}
+
+/// Runs the global phase on the main tuning VM.
+pub fn run_global_phase(
+    cloud: &mut CloudEnvironment,
+    workload: &Workload,
+    mut players: Vec<Player>,
+    config: &TournamentConfig,
+) -> GlobalOutcome {
+    let players_per_game = config.effective_players_per_game(cloud.vm().vcpus());
+    let game_options = GameOptions {
+        early_termination: config.ablation.early_termination,
+        work_done_deviation: config.work_done_deviation,
+        min_leader_progress: config.min_leader_progress,
+    };
+
+    let mut games_played = 0usize;
+    let mut rounds = 0usize;
+    let mut loser_bracket: Vec<Player> = Vec::new();
+
+    if !config.ablation.global_phase {
+        // Ablation "w/o global": a single game among (up to P of) the regional winners
+        // chooses the playoff players directly.
+        players.sort_by(|a, b| {
+            b.average_execution_score()
+                .partial_cmp(&a.average_execution_score())
+                .expect("scores are not NaN")
+                .then(a.config().cmp(&b.config()))
+        });
+        players.truncate(players_per_game.max(2));
+        if players.len() >= 2 {
+            let configs: Vec<ConfigId> = players.iter().map(Player::config).collect();
+            let result = play_game(cloud, workload, &configs, game_options);
+            cloud.commit(&result.outcome);
+            games_played += 1;
+            for (slot, player) in players.iter_mut().enumerate() {
+                player
+                    .scores_mut()
+                    .record_game(result.execution_scores[slot], result.ranks[slot]);
+            }
+            let standings = result.standings();
+            let keep = config.main_bracket_target.min(standings.len());
+            let finalists: Vec<Player> =
+                standings[..keep].iter().map(|i| players[*i].clone()).collect();
+            return GlobalOutcome {
+                finalists,
+                wildcard: None,
+                games_played,
+                rounds: 1,
+            };
+        }
+        return GlobalOutcome {
+            finalists: players,
+            wildcard: None,
+            games_played,
+            rounds: 0,
+        };
+    }
+
+    while players.len() > config.main_bracket_target {
+        rounds += 1;
+        let groups = build_diverse_groups(&players, players_per_game, config.main_bracket_target);
+        let mut winners: Vec<Player> = Vec::with_capacity(groups.len());
+        let mut round_outcomes = Vec::with_capacity(groups.len());
+
+        for group in &groups {
+            if group.len() == 1 {
+                // A lone player advances without playing.
+                winners.push(players[group[0]].clone());
+                continue;
+            }
+            let configs: Vec<ConfigId> = group.iter().map(|i| players[*i].config()).collect();
+            let result = play_game(cloud, workload, &configs, game_options);
+            games_played += 1;
+
+            // Record scores and decide the group winner by the combined ranking.
+            for (slot, player_index) in group.iter().enumerate() {
+                players[*player_index]
+                    .scores_mut()
+                    .record_game(result.execution_scores[slot], result.ranks[slot]);
+            }
+            let consistency: Vec<f64> = group
+                .iter()
+                .map(|i| players[*i].consistency_score())
+                .collect();
+            let order = combined_ranking(
+                &result.execution_scores,
+                &consistency,
+                config.ablation.execution_score,
+                config.ablation.consistency_score,
+            );
+            let winner_slot = order[0];
+            winners.push(players[group[winner_slot]].clone());
+            for slot in order.into_iter().skip(1) {
+                if config.ablation.double_elimination {
+                    loser_bracket.push(players[group[slot]].clone());
+                }
+            }
+            round_outcomes.push(result.outcome);
+        }
+
+        // Games within a round run on parallel VMs of the same type.
+        cloud.commit_parallel(&round_outcomes);
+
+        if winners.len() >= players.len() {
+            // No reduction is possible (degenerate small input); stop to guarantee
+            // termination.
+            players = winners;
+            break;
+        }
+        players = winners;
+    }
+
+    // Wild card from the loser bracket.
+    let wildcard = if config.ablation.double_elimination && loser_bracket.len() >= 2 {
+        loser_bracket.sort_by(|a, b| {
+            let score_a = a.average_execution_score() + a.consistency_score();
+            let score_b = b.average_execution_score() + b.consistency_score();
+            score_b
+                .partial_cmp(&score_a)
+                .expect("scores are not NaN")
+                .then(a.config().cmp(&b.config()))
+        });
+        loser_bracket.truncate(players_per_game);
+        let configs: Vec<ConfigId> = loser_bracket.iter().map(Player::config).collect();
+        let result = play_game(cloud, workload, &configs, game_options);
+        cloud.commit(&result.outcome);
+        games_played += 1;
+        for (slot, player) in loser_bracket.iter_mut().enumerate() {
+            player
+                .scores_mut()
+                .record_game(result.execution_scores[slot], result.ranks[slot]);
+        }
+        Some(loser_bracket[result.winner].clone())
+    } else if config.ablation.double_elimination {
+        loser_bracket.first().cloned()
+    } else {
+        None
+    };
+
+    GlobalOutcome {
+        finalists: players,
+        wildcard,
+        games_played,
+        rounds,
+    }
+}
+
+/// Splits `players` into groups of at most `players_per_game`, mixing origin regions so
+/// that configurations from the same part of the search space do not only compete with
+/// each other. When few players remain, the number of groups is chosen so the round still
+/// narrows the field toward `main_bracket_target`.
+fn build_diverse_groups(
+    players: &[Player],
+    players_per_game: usize,
+    main_bracket_target: usize,
+) -> Vec<Vec<usize>> {
+    let n = players.len();
+    let group_count = if n > players_per_game {
+        n.div_ceil(players_per_game)
+    } else {
+        main_bracket_target.min(n / 2).max(1)
+    };
+
+    // Sort player indices by origin region, then deal them round-robin across groups so
+    // each group mixes regions.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|i| (players[*i].origin_region().unwrap_or(usize::MAX), *i));
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); group_count];
+    for (position, player_index) in order.into_iter().enumerate() {
+        groups[position % group_count].push(player_index);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_cloudsim::{InterferenceProfile, VmType};
+    use dg_workloads::Application;
+
+    fn setup() -> (Workload, CloudEnvironment, TournamentConfig) {
+        let workload = Workload::scaled(Application::Redis, 10_000);
+        let cloud =
+            CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 23);
+        let mut config = TournamentConfig::scaled(16, 7);
+        config.players_per_game = Some(8);
+        (workload, cloud, config)
+    }
+
+    fn players_from_spread(workload: &Workload, count: usize) -> Vec<Player> {
+        (0..count)
+            .map(|i| {
+                let id = (i as u64 * (workload.size() / count as u64)).min(workload.size() - 1);
+                Player::new(id, Some(i % 5))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn global_phase_narrows_to_main_bracket_target() {
+        let (workload, mut cloud, config) = setup();
+        let players = players_from_spread(&workload, 24);
+        let outcome = run_global_phase(&mut cloud, &workload, players, &config);
+        assert!(outcome.finalists.len() <= config.main_bracket_target);
+        assert!(!outcome.finalists.is_empty());
+        assert!(outcome.games_played >= 1);
+        assert!(outcome.rounds >= 1);
+    }
+
+    #[test]
+    fn double_elimination_produces_a_wildcard() {
+        let (workload, mut cloud, config) = setup();
+        let players = players_from_spread(&workload, 20);
+        let outcome = run_global_phase(&mut cloud, &workload, players, &config);
+        assert!(outcome.wildcard.is_some());
+        let playoff = outcome.playoff_players();
+        assert!(playoff.len() >= outcome.finalists.len());
+    }
+
+    #[test]
+    fn without_double_elimination_no_wildcard() {
+        let (workload, mut cloud, mut config) = setup();
+        config.ablation.double_elimination = false;
+        let players = players_from_spread(&workload, 20);
+        let outcome = run_global_phase(&mut cloud, &workload, players, &config);
+        assert!(outcome.wildcard.is_none());
+    }
+
+    #[test]
+    fn without_global_phase_a_single_game_selects_playoff_players() {
+        let (workload, mut cloud, mut config) = setup();
+        config.ablation.global_phase = false;
+        let players = players_from_spread(&workload, 20);
+        let outcome = run_global_phase(&mut cloud, &workload, players, &config);
+        assert_eq!(outcome.games_played, 1);
+        assert!(outcome.finalists.len() <= config.main_bracket_target);
+    }
+
+    #[test]
+    fn small_fields_pass_through_without_games() {
+        let (workload, mut cloud, config) = setup();
+        let players = players_from_spread(&workload, 2);
+        let outcome = run_global_phase(&mut cloud, &workload, players, &config);
+        assert_eq!(outcome.finalists.len(), 2);
+        assert_eq!(outcome.rounds, 0);
+    }
+
+    #[test]
+    fn groups_mix_origin_regions() {
+        let players: Vec<Player> = (0..16).map(|i| Player::new(i as u64, Some(i / 4))).collect();
+        let groups = build_diverse_groups(&players, 4, 3);
+        assert_eq!(groups.len(), 4);
+        for group in &groups {
+            let regions: std::collections::BTreeSet<_> = group
+                .iter()
+                .map(|i| players[*i].origin_region().unwrap())
+                .collect();
+            assert!(regions.len() >= 2, "groups should span multiple regions");
+        }
+    }
+
+    #[test]
+    fn finalists_carry_score_history() {
+        let (workload, mut cloud, config) = setup();
+        let players = players_from_spread(&workload, 24);
+        let outcome = run_global_phase(&mut cloud, &workload, players, &config);
+        for finalist in &outcome.finalists {
+            assert!(finalist.scores().games_played() > 0);
+        }
+    }
+}

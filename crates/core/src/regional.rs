@@ -1,0 +1,391 @@
+//! Phase I: the regional phase, played in Swiss style.
+//!
+//! The search space is divided into `n_r` regions; inside each region multi-player games
+//! are played for several rounds. Half of each round's players are drawn from the pool
+//! that has never played (new players) and half are drawn probabilistically from players
+//! that already have an execution score — so increasingly promising configurations meet
+//! each other, which is the Swiss-style progression of Fig. 6. A region ends when one
+//! configuration has won two games in a row, when there are no new players left to
+//! introduce, or when the round cap is reached; every player within the work-done
+//! deviation of the regional best advances to the global phase.
+
+use crate::config::TournamentConfig;
+use crate::game::{play_game, GameOptions};
+use crate::player::Player;
+use dg_cloudsim::{CloudEnvironment, CostTracker, InterferenceProfile, SimRng, VmType};
+use dg_workloads::{ConfigId, IndexPartition, Workload};
+use serde::{Deserialize, Serialize};
+
+/// The result of playing one region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionalOutcome {
+    /// Which region (partition part) this outcome belongs to.
+    pub region: usize,
+    /// Players that advance to the global phase, score history included.
+    pub winners: Vec<Player>,
+    /// Number of games played inside the region.
+    pub games_played: usize,
+    /// Core-hours consumed by the region's games.
+    pub core_hours: f64,
+    /// Wall-clock seconds the region's (dedicated) VM was busy.
+    pub wall_clock_seconds: f64,
+}
+
+/// Plays the Swiss-style tournament inside one region, on its own simulated VM.
+///
+/// Regions are independent by construction (the paper runs them on separate VMs in
+/// parallel), so each gets its own [`CloudEnvironment`] derived from the tournament seed
+/// and the region index.
+pub fn run_region(
+    workload: &Workload,
+    partition: &IndexPartition,
+    region: usize,
+    offset: u64,
+    vm: VmType,
+    profile: &InterferenceProfile,
+    config: &TournamentConfig,
+) -> RegionalOutcome {
+    let region_seed = dg_cloudsim::mix(config.seed, 0x4e67 ^ region as u64);
+    let mut cloud = CloudEnvironment::new(vm, profile.clone(), region_seed);
+    let mut rng = SimRng::new(region_seed).derive("regional");
+    let players_per_game = config.effective_players_per_game(vm.vcpus());
+
+    let game_options = GameOptions {
+        early_termination: config.ablation.early_termination,
+        work_done_deviation: config.work_done_deviation,
+        min_leader_progress: config.min_leader_progress,
+    };
+
+    // Candidate pool: enough distinct configurations to feed every possible round.
+    let pool_size = players_per_game
+        + (players_per_game / 2) * config.max_regional_rounds.saturating_sub(1);
+    let candidates: Vec<ConfigId> = partition
+        .sample_distinct(region, pool_size, &mut rng)
+        .into_iter()
+        .map(|id| id + offset)
+        .collect();
+
+    let mut players: Vec<Player> = candidates
+        .iter()
+        .map(|id| Player::new(*id, Some(region)))
+        .collect();
+    let mut unplayed: Vec<usize> = (0..players.len()).collect();
+    rng.shuffle(&mut unplayed);
+
+    let mut games_played = 0usize;
+    let mut last_winner: Option<ConfigId> = None;
+    let mut consecutive_wins = 0usize;
+
+    let rounds = if config.ablation.swiss_regional {
+        config.max_regional_rounds
+    } else {
+        // Ablation "w/o Swiss": a single game among the sampled players decides winners.
+        1
+    };
+
+    for round in 0..rounds {
+        // Select this round's participants.
+        let mut participants: Vec<usize> = Vec::with_capacity(players_per_game);
+        if round == 0 || !config.ablation.swiss_regional {
+            // First round (or non-Swiss single game): random players from the pool.
+            while participants.len() < players_per_game && !unplayed.is_empty() {
+                participants.push(unplayed.pop().expect("unplayed is non-empty"));
+            }
+        } else {
+            // Half new players, half high-scoring veterans selected probabilistically.
+            let new_slots = (players_per_game / 2).min(unplayed.len());
+            for _ in 0..new_slots {
+                participants.push(unplayed.pop().expect("unplayed is non-empty"));
+            }
+            let veteran_indices: Vec<usize> = (0..players.len())
+                .filter(|i| players[*i].scores().games_played() > 0 && !participants.contains(i))
+                .collect();
+            let veteran_slots = (players_per_game - participants.len()).min(veteran_indices.len());
+            let mut weights: Vec<f64> = veteran_indices
+                .iter()
+                .map(|i| players[*i].average_execution_score().max(0.01))
+                .collect();
+            let mut remaining = veteran_indices;
+            for _ in 0..veteran_slots {
+                let pick = rng.weighted_index(&weights);
+                participants.push(remaining.swap_remove(pick));
+                weights.swap_remove(pick);
+            }
+        }
+        if participants.len() < 2 {
+            break;
+        }
+
+        let configs: Vec<ConfigId> = participants.iter().map(|i| players[*i].config()).collect();
+        let result = play_game(&mut cloud, workload, &configs, game_options);
+        cloud.commit(&result.outcome);
+        games_played += 1;
+
+        for (slot, player_index) in participants.iter().enumerate() {
+            players[*player_index]
+                .scores_mut()
+                .record_game(result.execution_scores[slot], result.ranks[slot]);
+        }
+
+        // Track consecutive wins of the same configuration for the termination rule.
+        let winning_config = result.winning_config();
+        if Some(winning_config) == last_winner {
+            consecutive_wins += 1;
+        } else {
+            last_winner = Some(winning_config);
+            consecutive_wins = 1;
+        }
+        if config.ablation.swiss_regional && consecutive_wins >= 2 {
+            break;
+        }
+        if unplayed.is_empty() {
+            break;
+        }
+    }
+
+    // Decide who advances: everyone within the work-done deviation of the best player's
+    // average execution score (or only the single best, under the ablation).
+    let mut veterans: Vec<&Player> = players
+        .iter()
+        .filter(|p| p.scores().games_played() > 0)
+        .collect();
+    veterans.sort_by(|a, b| {
+        b.average_execution_score()
+            .partial_cmp(&a.average_execution_score())
+            .expect("scores are not NaN")
+            .then(a.config().cmp(&b.config()))
+    });
+    let winners: Vec<Player> = if veterans.is_empty() {
+        Vec::new()
+    } else if config.ablation.single_regional_winner {
+        vec![veterans[0].clone()]
+    } else {
+        let best_score = veterans[0].average_execution_score();
+        let threshold = best_score * (1.0 - config.work_done_deviation);
+        veterans
+            .iter()
+            .filter(|p| p.average_execution_score() >= threshold)
+            .map(|p| (*p).clone())
+            .collect()
+    };
+
+    RegionalOutcome {
+        region,
+        winners,
+        games_played,
+        core_hours: cloud.cost().core_hours(),
+        wall_clock_seconds: cloud.cost().wall_clock_seconds(),
+    }
+}
+
+/// Runs every region and aggregates the results.
+///
+/// Regions run on independent simulated VMs; `parallel_regions` only controls whether the
+/// host uses worker threads, not the simulated cost model (regions are always charged as
+/// if they ran concurrently on separate VMs, so the aggregate wall clock is the longest
+/// region, per Fig. 6's "played in parallel").
+pub fn run_regional_phase(
+    workload: &Workload,
+    partition: &IndexPartition,
+    offset: u64,
+    vm: VmType,
+    profile: &InterferenceProfile,
+    config: &TournamentConfig,
+) -> (Vec<RegionalOutcome>, CostTracker) {
+    let regions: Vec<usize> = (0..partition.parts()).collect();
+    let outcomes: Vec<RegionalOutcome> = if config.parallel_regions && regions.len() > 1 {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(regions.len());
+        let chunk_size = regions.len().div_ceil(threads);
+        let mut results: Vec<Option<RegionalOutcome>> = vec![None; regions.len()];
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (chunk_index, chunk) in regions.chunks(chunk_size).enumerate() {
+                let chunk: Vec<usize> = chunk.to_vec();
+                handles.push((
+                    chunk_index,
+                    scope.spawn(move |_| {
+                        chunk
+                            .into_iter()
+                            .map(|region| {
+                                run_region(workload, partition, region, offset, vm, profile, config)
+                            })
+                            .collect::<Vec<_>>()
+                    }),
+                ));
+            }
+            for (chunk_index, handle) in handles {
+                let chunk_results = handle.join().expect("regional worker thread panicked");
+                for (i, outcome) in chunk_results.into_iter().enumerate() {
+                    results[chunk_index * chunk_size + i] = Some(outcome);
+                }
+            }
+        })
+        .expect("crossbeam scope failed");
+        results
+            .into_iter()
+            .map(|r| r.expect("every region produces an outcome"))
+            .collect()
+    } else {
+        regions
+            .into_iter()
+            .map(|region| run_region(workload, partition, region, offset, vm, profile, config))
+            .collect()
+    };
+
+    // Regions run concurrently on separate VMs: core-hours add up, wall-clock is the max.
+    let mut cost = CostTracker::new();
+    let elapsed: Vec<f64> = outcomes.iter().map(|o| o.wall_clock_seconds).collect();
+    cost.charge_parallel(vm, &elapsed);
+    (outcomes, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_workloads::Application;
+
+    fn setup(regions: usize) -> (Workload, IndexPartition, TournamentConfig) {
+        let workload = Workload::scaled(Application::Redis, 5_000);
+        let partition = IndexPartition::new(workload.size(), regions);
+        let mut config = TournamentConfig::scaled(regions, 11);
+        config.players_per_game = Some(8);
+        config.parallel_regions = false;
+        (workload, partition, config)
+    }
+
+    #[test]
+    fn region_produces_winners_with_score_history() {
+        let (workload, partition, config) = setup(16);
+        let outcome = run_region(
+            &workload,
+            &partition,
+            3,
+            0,
+            VmType::M5_8xlarge,
+            &InterferenceProfile::typical(),
+            &config,
+        );
+        assert!(!outcome.winners.is_empty());
+        assert!(outcome.games_played >= 1);
+        assert!(outcome.core_hours > 0.0);
+        for winner in &outcome.winners {
+            assert!(winner.scores().games_played() > 0);
+            assert_eq!(winner.origin_region(), Some(3));
+            let range = partition.range(3);
+            assert!(range.contains(&winner.config()));
+        }
+    }
+
+    #[test]
+    fn single_winner_ablation_limits_winners() {
+        let (workload, partition, mut config) = setup(16);
+        config.ablation.single_regional_winner = true;
+        let outcome = run_region(
+            &workload,
+            &partition,
+            0,
+            0,
+            VmType::M5_8xlarge,
+            &InterferenceProfile::typical(),
+            &config,
+        );
+        assert_eq!(outcome.winners.len(), 1);
+    }
+
+    #[test]
+    fn non_swiss_ablation_plays_single_game() {
+        let (workload, partition, mut config) = setup(16);
+        config.ablation.swiss_regional = false;
+        let outcome = run_region(
+            &workload,
+            &partition,
+            1,
+            0,
+            VmType::M5_8xlarge,
+            &InterferenceProfile::typical(),
+            &config,
+        );
+        assert_eq!(outcome.games_played, 1);
+    }
+
+    #[test]
+    fn regional_winners_are_better_than_region_average() {
+        let (workload, partition, config) = setup(8);
+        let outcome = run_region(
+            &workload,
+            &partition,
+            2,
+            0,
+            VmType::M5_8xlarge,
+            &InterferenceProfile::typical(),
+            &config,
+        );
+        let winner_best = outcome
+            .winners
+            .iter()
+            .map(|p| workload.base_time(p.config()))
+            .fold(f64::INFINITY, f64::min);
+        // Compare against the average dedicated time of a sample from the region.
+        let range = partition.range(2);
+        let sample: Vec<f64> = range
+            .clone()
+            .step_by(((range.end - range.start) / 64).max(1) as usize)
+            .map(|id| workload.base_time(id))
+            .collect();
+        assert!(winner_best < dg_stats::mean(&sample));
+    }
+
+    #[test]
+    fn phase_aggregates_cost_in_parallel() {
+        let (workload, partition, config) = setup(4);
+        let (outcomes, cost) = run_regional_phase(
+            &workload,
+            &partition,
+            0,
+            VmType::M5_8xlarge,
+            &InterferenceProfile::typical(),
+            &config,
+        );
+        assert_eq!(outcomes.len(), 4);
+        let total_region_hours: f64 = outcomes.iter().map(|o| o.core_hours).sum();
+        assert!((cost.core_hours() - total_region_hours).abs() / total_region_hours < 0.05);
+        let longest = outcomes
+            .iter()
+            .map(|o| o.wall_clock_seconds)
+            .fold(0.0_f64, f64::max);
+        assert!((cost.wall_clock_seconds() - longest).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_and_sequential_regions_agree() {
+        let (workload, partition, mut config) = setup(4);
+        config.parallel_regions = false;
+        let (sequential, _) = run_regional_phase(
+            &workload,
+            &partition,
+            0,
+            VmType::M5_8xlarge,
+            &InterferenceProfile::typical(),
+            &config,
+        );
+        config.parallel_regions = true;
+        let (parallel, _) = run_regional_phase(
+            &workload,
+            &partition,
+            0,
+            VmType::M5_8xlarge,
+            &InterferenceProfile::typical(),
+            &config,
+        );
+        let winners = |outcomes: &[RegionalOutcome]| -> Vec<ConfigId> {
+            outcomes
+                .iter()
+                .flat_map(|o| o.winners.iter().map(Player::config))
+                .collect()
+        };
+        assert_eq!(winners(&sequential), winners(&parallel));
+    }
+}

@@ -1,0 +1,281 @@
+//! The DarwinGame tournament orchestrator (Algorithm 1 of the paper).
+
+use crate::config::TournamentConfig;
+use crate::global::run_global_phase;
+use crate::player::Player;
+use crate::playoffs::run_playoffs;
+use crate::regional::run_regional_phase;
+use crate::report::{PhaseSummary, TournamentReport};
+use dg_cloudsim::{CloudEnvironment, CostTracker, SimRng};
+use dg_tuners::{Tuner, TuningBudget, TuningOutcome};
+use dg_workloads::{IndexPartition, Workload};
+
+/// The DarwinGame tuner: a four-phase tournament played among co-located application
+/// executions with different tuning configurations.
+///
+/// ```
+/// use darwin_core::{DarwinGame, TournamentConfig};
+/// use dg_cloudsim::{CloudEnvironment, InterferenceProfile, VmType};
+/// use dg_workloads::{Application, Workload};
+///
+/// let workload = Workload::scaled(Application::Redis, 2_000);
+/// let mut cloud = CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 1);
+/// let mut config = TournamentConfig::scaled(8, 42);
+/// config.players_per_game = Some(8);
+/// let report = DarwinGame::new(config).run(&workload, &mut cloud);
+/// assert!(report.champion < workload.size());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DarwinGame {
+    config: TournamentConfig,
+}
+
+impl DarwinGame {
+    /// Creates a tournament tuner from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see [`TournamentConfig::validate`]).
+    pub fn new(config: TournamentConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// Creates a tournament tuner with the paper's default parameters and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(TournamentConfig {
+            seed,
+            ..TournamentConfig::default()
+        })
+    }
+
+    /// The tournament configuration.
+    pub fn config(&self) -> &TournamentConfig {
+        &self.config
+    }
+
+    /// Plays the full tournament for `workload` and returns the detailed report.
+    ///
+    /// The regional phase runs on per-region simulated VMs (same type and interference
+    /// profile as `cloud`); the global phase, playoffs, and final run on `cloud` itself.
+    pub fn run(&self, workload: &Workload, cloud: &mut CloudEnvironment) -> TournamentReport {
+        let config = &self.config;
+        let size = workload.size();
+        let (offset, span) = match config.search_range {
+            Some((start, end)) => {
+                let end = end.min(size);
+                assert!(start < end, "search_range outside the workload's space");
+                (start, end - start)
+            }
+            None => (0, size),
+        };
+        let regions = config.regions.min(span as usize).max(1);
+        let partition = IndexPartition::new(span, regions);
+
+        let vm = cloud.vm();
+        let profile = cloud.profile().clone();
+        let main_core_hours_start = cloud.cost().core_hours();
+        let main_wall_start = cloud.cost().wall_clock_seconds();
+
+        // -------- Phase I: regional (Swiss style) --------
+        let (entrants, regional_cost, regional_games) = if config.ablation.regional_phase {
+            let (outcomes, cost) =
+                run_regional_phase(workload, &partition, offset, vm, &profile, config);
+            let games = outcomes.iter().map(|o| o.games_played).sum();
+            let players: Vec<Player> = outcomes.into_iter().flat_map(|o| o.winners).collect();
+            (players, cost, games)
+        } else {
+            // Ablation "w/o regional": one random configuration per region enters the
+            // global phase directly, with no score history.
+            let mut rng = SimRng::new(config.seed).derive("no-regional");
+            let players: Vec<Player> = (0..partition.parts())
+                .map(|region| Player::new(partition.sample(region, &mut rng) + offset, Some(region)))
+                .collect();
+            (players, CostTracker::new(), 0)
+        };
+
+        // Safety net: if the regional phase produced nothing (degenerate tiny spaces),
+        // fall back to one random player per region.
+        let entrants = if entrants.is_empty() {
+            let mut rng = SimRng::new(config.seed).derive("regional-fallback");
+            (0..partition.parts())
+                .map(|region| Player::new(partition.sample(region, &mut rng) + offset, Some(region)))
+                .collect()
+        } else {
+            entrants
+        };
+        let regional_winner_count = entrants.len();
+
+        // -------- Phase II: global (double elimination) --------
+        let global_core_hours_start = cloud.cost().core_hours();
+        let global = run_global_phase(cloud, workload, entrants, config);
+        let global_core_hours = cloud.cost().core_hours() - global_core_hours_start;
+
+        // -------- Phases III & IV: playoffs (barrage) and final --------
+        let playoff_players = global.playoff_players();
+        let playoff_entrants = playoff_players.len();
+        let playoffs_core_hours_start = cloud.cost().core_hours();
+        let playoffs = run_playoffs(cloud, workload, playoff_players, config);
+        let playoffs_core_hours = cloud.cost().core_hours() - playoffs_core_hours_start;
+
+        let main_core_hours = cloud.cost().core_hours() - main_core_hours_start;
+        let main_wall = cloud.cost().wall_clock_seconds() - main_wall_start;
+
+        TournamentReport {
+            champion: playoffs.champion.config(),
+            runner_up: playoffs.runner_up.as_ref().map(Player::config),
+            champion_observed_time: playoffs.champion_observed_time,
+            regional_winners: regional_winner_count,
+            games_played: regional_games + global.games_played + playoffs.games_played,
+            core_hours: regional_cost.core_hours() + main_core_hours,
+            wall_clock_seconds: regional_cost.wall_clock_seconds() + main_wall,
+            phases: vec![
+                PhaseSummary {
+                    name: "regional".into(),
+                    players_in: regions * config.effective_players_per_game(vm.vcpus()),
+                    players_out: regional_winner_count,
+                    games: regional_games,
+                    core_hours: regional_cost.core_hours(),
+                },
+                PhaseSummary {
+                    name: "global".into(),
+                    players_in: regional_winner_count,
+                    players_out: playoff_entrants,
+                    games: global.games_played,
+                    core_hours: global_core_hours,
+                },
+                PhaseSummary {
+                    name: "playoffs+final".into(),
+                    players_in: playoff_entrants,
+                    players_out: 1,
+                    games: playoffs.games_played,
+                    core_hours: playoffs_core_hours,
+                },
+            ],
+        }
+    }
+}
+
+impl Tuner for DarwinGame {
+    fn name(&self) -> &str {
+        "DarwinGame"
+    }
+
+    /// Runs the tournament. The evaluation budget is ignored: DarwinGame's sampling
+    /// effort is determined by its tournament structure (`regions`, players per game,
+    /// round caps), not by a per-sample budget.
+    fn tune(
+        &mut self,
+        workload: &Workload,
+        cloud: &mut CloudEnvironment,
+        _budget: TuningBudget,
+    ) -> TuningOutcome {
+        self.run(workload, cloud).to_outcome()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_cloudsim::{InterferenceProfile, VmType};
+    use dg_workloads::Application;
+
+    fn small_config(regions: usize, seed: u64) -> TournamentConfig {
+        let mut config = TournamentConfig::scaled(regions, seed);
+        config.players_per_game = Some(8);
+        config.max_regional_rounds = 4;
+        config.parallel_regions = false;
+        config
+    }
+
+    fn cloud(seed: u64) -> CloudEnvironment {
+        CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), seed)
+    }
+
+    #[test]
+    fn full_tournament_finds_a_fast_configuration() {
+        let workload = Workload::scaled(Application::Redis, 20_000);
+        let mut cloud = cloud(3);
+        let report = DarwinGame::new(small_config(24, 5)).run(&workload, &mut cloud);
+
+        let champion_time = workload.base_time(report.champion);
+        let best = workload.application().surface_config().best_time;
+        let worst = workload.application().surface_config().worst_time;
+        assert!(
+            champion_time < best + 0.35 * (worst - best),
+            "champion ({champion_time}s) should be well into the fast tail"
+        );
+        assert!(report.games_played > 10);
+        assert!(report.core_hours > 0.0);
+        assert_eq!(report.phases.len(), 3);
+    }
+
+    #[test]
+    fn tournament_is_deterministic() {
+        let workload = Workload::scaled(Application::Ffmpeg, 8_000);
+        let run = || {
+            let mut cloud = cloud(9);
+            DarwinGame::new(small_config(12, 21)).run(&workload, &mut cloud).champion
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_can_pick_different_champions_but_all_fast() {
+        let workload = Workload::scaled(Application::Redis, 10_000);
+        let config = workload.application().surface_config();
+        for seed in 0..3u64 {
+            let mut env = cloud(100 + seed);
+            let report =
+                DarwinGame::new(small_config(12, seed)).run(&workload, &mut env);
+            let time = workload.base_time(report.champion);
+            assert!(
+                time < (config.best_time + config.worst_time) / 2.0,
+                "seed {seed}: champion too slow ({time}s)"
+            );
+        }
+    }
+
+    #[test]
+    fn search_range_restricts_the_champion() {
+        let workload = Workload::scaled(Application::Lammps, 10_000);
+        let mut env = cloud(7);
+        let mut config = small_config(8, 13);
+        let start = workload.size() / 2;
+        let end = workload.size();
+        config.search_range = Some((start, end));
+        let report = DarwinGame::new(config).run(&workload, &mut env);
+        assert!(report.champion >= start && report.champion < end);
+    }
+
+    #[test]
+    fn tuner_trait_reports_darwin_game_outcome() {
+        let workload = Workload::scaled(Application::Gromacs, 8_000);
+        let mut env = cloud(11);
+        let mut tuner = DarwinGame::new(small_config(8, 2));
+        let outcome = tuner.tune(&workload, &mut env, TuningBudget::evaluations(10));
+        assert_eq!(outcome.tuner, "DarwinGame");
+        assert!(outcome.core_hours > 0.0);
+        assert!(outcome.believed_time > 0.0);
+    }
+
+    #[test]
+    fn report_phase_cost_sums_to_total() {
+        let workload = Workload::scaled(Application::Redis, 8_000);
+        let mut env = cloud(17);
+        let report = DarwinGame::new(small_config(10, 3)).run(&workload, &mut env);
+        let phase_total: f64 = report.phases.iter().map(|p| p.core_hours).sum();
+        assert!((phase_total - report.core_hours).abs() / report.core_hours < 0.05);
+    }
+
+    #[test]
+    fn ablated_tournament_without_regional_phase_still_completes() {
+        let workload = Workload::scaled(Application::Redis, 8_000);
+        let mut env = cloud(19);
+        let mut config = small_config(10, 23);
+        config.ablation.regional_phase = false;
+        let report = DarwinGame::new(config).run(&workload, &mut env);
+        assert!(report.champion < workload.size());
+        assert_eq!(report.phases[0].games, 0);
+    }
+}

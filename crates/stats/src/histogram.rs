@@ -1,0 +1,155 @@
+//! Fixed-width histograms for textual distribution reports.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bin histogram over a closed range `[lo, hi]`.
+///
+/// Values outside the range are clamped into the first/last bin so that no sample is ever
+/// silently dropped (the experiment harnesses always report totals).
+///
+/// ```
+/// use dg_stats::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.add(1.0);
+/// h.add(9.5);
+/// assert_eq!(h.total(), 2);
+/// assert_eq!(h.counts()[0], 1);
+/// assert_eq!(h.counts()[4], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins covering `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, if `lo >= hi`, or if either bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "histogram range must be non-empty (lo < hi)");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Adds one sample, clamping it into the covered range.
+    pub fn add(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let clamped = value.clamp(self.lo, self.hi);
+        let width = (self.hi - self.lo) / bins as f64;
+        let mut idx = ((clamped - self.lo) / width) as usize;
+        if idx >= bins {
+            idx = bins - 1;
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Adds every sample from `values`.
+    pub fn extend_from_slice(&mut self, values: &[f64]) {
+        for v in values {
+            self.add(*v);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples added.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Lower bound of the covered range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the covered range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Midpoint of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// Fraction of samples in bin `i`, or 0 if the histogram is empty.
+    pub fn fraction(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_expected_bins() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.add(5.0);
+        h.add(15.0);
+        h.add(99.9);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.add(-5.0);
+        h.add(25.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 1);
+    }
+
+    #[test]
+    fn upper_bound_lands_in_last_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add(10.0);
+        assert_eq!(h.counts()[4], 1);
+    }
+
+    #[test]
+    fn bin_center_and_fraction() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend_from_slice(&[1.0, 1.5, 9.0]);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.fraction(0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn inverted_range_rejected() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

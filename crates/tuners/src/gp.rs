@@ -1,0 +1,246 @@
+//! A small Gaussian-process regressor used by the BLISS-style tuner.
+//!
+//! BLISS maintains a pool of lightweight Bayesian-optimisation models; each model here is
+//! a Gaussian process with an RBF kernel of a particular length scale. The implementation
+//! is intentionally minimal (dense Cholesky, no hyper-parameter optimisation) because the
+//! model pool — not any individual model — is what the BLISS design relies on.
+
+/// A Gaussian process with a radial-basis-function kernel, fit to normalised inputs in
+/// `[0, 1]^d`.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    length_scale: f64,
+    noise: f64,
+    inputs: Vec<Vec<f64>>,
+    /// `(K + noise * I)^-1 * (y - mean)` from the last fit.
+    alpha: Vec<f64>,
+    /// Cholesky factor `L` of `K + noise * I` (lower triangular, row-major).
+    cholesky: Vec<Vec<f64>>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl GaussianProcess {
+    /// Creates an unfit GP with the given RBF length scale and observation noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length_scale` or `noise` is not strictly positive.
+    pub fn new(length_scale: f64, noise: f64) -> Self {
+        assert!(length_scale > 0.0, "length scale must be positive");
+        assert!(noise > 0.0, "noise must be positive");
+        Self {
+            length_scale,
+            noise,
+            inputs: Vec::new(),
+            alpha: Vec::new(),
+            cholesky: Vec::new(),
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    /// The kernel length scale.
+    pub fn length_scale(&self) -> f64 {
+        self.length_scale
+    }
+
+    /// True once [`fit`](Self::fit) has been called with at least one observation.
+    pub fn is_fit(&self) -> bool {
+        !self.inputs.is_empty()
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        let squared: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+        (-squared / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+
+    /// Fits the GP to `(inputs, targets)`.
+    ///
+    /// Targets are standardised internally so callers can pass raw execution times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs and targets differ in length or are empty.
+    pub fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) {
+        assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+        assert!(!inputs.is_empty(), "cannot fit a GP to zero observations");
+        let n = inputs.len();
+        self.y_mean = dg_stats::mean(targets);
+        self.y_std = dg_stats::std_dev(targets).max(1e-9);
+        let standardized: Vec<f64> = targets.iter().map(|y| (y - self.y_mean) / self.y_std).collect();
+
+        // Build K + noise * I.
+        let mut matrix = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..=i {
+                let k = self.kernel(&inputs[i], &inputs[j]);
+                matrix[i][j] = k;
+                matrix[j][i] = k;
+            }
+            matrix[i][i] += self.noise;
+        }
+
+        // Cholesky decomposition (matrix = L * L^T).
+        let mut l = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = matrix[i][j];
+                for k in 0..j {
+                    sum -= l[i][k] * l[j][k];
+                }
+                if i == j {
+                    l[i][j] = sum.max(1e-12).sqrt();
+                } else {
+                    l[i][j] = sum / l[j][j];
+                }
+            }
+        }
+
+        // Solve L z = y, then L^T alpha = z.
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = standardized[i];
+            for k in 0..i {
+                sum -= l[i][k] * z[k];
+            }
+            z[i] = sum / l[i][i];
+        }
+        let mut alpha = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = z[i];
+            for k in i + 1..n {
+                sum -= l[k][i] * alpha[k];
+            }
+            alpha[i] = sum / l[i][i];
+        }
+
+        self.inputs = inputs.to_vec();
+        self.alpha = alpha;
+        self.cholesky = l;
+    }
+
+    /// Predictive mean and standard deviation at `point` (in the original target units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GP has not been fit.
+    pub fn predict(&self, point: &[f64]) -> (f64, f64) {
+        assert!(self.is_fit(), "predict called before fit");
+        let n = self.inputs.len();
+        let k_star: Vec<f64> = self.inputs.iter().map(|x| self.kernel(x, point)).collect();
+        let mean_standardized: f64 = k_star.iter().zip(self.alpha.iter()).map(|(k, a)| k * a).sum();
+
+        // v = L^-1 k_star; predictive variance = k(x,x) - v^T v.
+        let mut v = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = k_star[i];
+            for k in 0..i {
+                sum -= self.cholesky[i][k] * v[k];
+            }
+            v[i] = sum / self.cholesky[i][i];
+        }
+        let variance_standardized =
+            (1.0 + self.noise - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
+
+        let mean = mean_standardized * self.y_std + self.y_mean;
+        let std_dev = variance_standardized.sqrt() * self.y_std;
+        (mean, std_dev)
+    }
+
+    /// Expected improvement of `point` over the incumbent best target value
+    /// (minimisation). Larger is better.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GP has not been fit.
+    pub fn expected_improvement(&self, point: &[f64], best: f64) -> f64 {
+        let (mean, std_dev) = self.predict(point);
+        if std_dev < 1e-12 {
+            return (best - mean).max(0.0);
+        }
+        let z = (best - mean) / std_dev;
+        let (pdf, cdf) = standard_normal(z);
+        ((best - mean) * cdf + std_dev * pdf).max(0.0)
+    }
+}
+
+/// Standard normal PDF and CDF at `z` (Abramowitz–Stegun CDF approximation).
+fn standard_normal(z: f64) -> (f64, f64) {
+    let pdf = (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    // CDF via the error-function approximation.
+    let t = 1.0 / (1.0 + 0.2316419 * z.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let tail = pdf * poly;
+    let cdf = if z >= 0.0 { 1.0 - tail } else { tail };
+    (pdf, cdf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let inputs = grid_1d(6);
+        let targets: Vec<f64> = inputs.iter().map(|x| 100.0 + 50.0 * x[0]).collect();
+        let mut gp = GaussianProcess::new(0.3, 1e-6);
+        gp.fit(&inputs, &targets);
+        for (x, y) in inputs.iter().zip(targets.iter()) {
+            let (mean, _) = gp.predict(x);
+            assert!((mean - y).abs() < 1.0, "predicted {mean}, expected {y}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let inputs = vec![vec![0.0], vec![0.1], vec![0.2]];
+        let targets = vec![1.0, 2.0, 3.0];
+        let mut gp = GaussianProcess::new(0.1, 1e-4);
+        gp.fit(&inputs, &targets);
+        let (_, near) = gp.predict(&[0.1]);
+        let (_, far) = gp.predict(&[0.9]);
+        assert!(far > near * 2.0, "near={near} far={far}");
+    }
+
+    #[test]
+    fn expected_improvement_prefers_unexplored_promising_regions() {
+        // Decreasing function: the minimum continues beyond the sampled range.
+        let inputs = grid_1d(5);
+        let targets: Vec<f64> = inputs.iter().map(|x| 10.0 - 5.0 * x[0]).collect();
+        let mut gp = GaussianProcess::new(0.25, 1e-4);
+        gp.fit(&inputs, &targets);
+        let best = targets.iter().copied().fold(f64::INFINITY, f64::min);
+        let ei_at_known_bad = gp.expected_improvement(&[0.0], best);
+        let ei_at_frontier = gp.expected_improvement(&[1.0], best);
+        assert!(ei_at_frontier >= ei_at_known_bad);
+    }
+
+    #[test]
+    fn standard_normal_is_sane() {
+        let (_, cdf0) = standard_normal(0.0);
+        assert!((cdf0 - 0.5).abs() < 1e-3);
+        let (_, cdf2) = standard_normal(2.0);
+        assert!((cdf2 - 0.977).abs() < 5e-3);
+        let (_, cdf_neg) = standard_normal(-2.0);
+        assert!((cdf_neg - 0.023).abs() < 5e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        GaussianProcess::new(0.5, 1e-3).predict(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_fit_rejected() {
+        GaussianProcess::new(0.5, 1e-3).fit(&[vec![0.0]], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,182 @@
+//! An OpenTuner-style ensemble tuner with an AUC-bandit meta-technique.
+
+use crate::evaluator::{CloudEvaluator, TuningBudget};
+use crate::outcome::TuningOutcome;
+use crate::techniques::{
+    EvolutionTechnique, HillClimbTechnique, PatternSearchTechnique, RandomTechnique,
+    SearchContext, Technique,
+};
+use crate::tuner::Tuner;
+use dg_cloudsim::{CloudEnvironment, SimRng};
+use dg_workloads::Workload;
+
+/// Length of the sliding window over which each technique's improvement credit is scored.
+const CREDIT_WINDOW: usize = 20;
+
+/// Exploration weight of the UCB-style bonus in technique selection.
+const EXPLORATION: f64 = 1.2;
+
+/// OpenTuner [Ansel et al.]: an ensemble of search techniques arbitrated by a
+/// multi-armed bandit that credits whichever technique recently improved the best
+/// observed time.
+#[derive(Debug, Clone)]
+pub struct OpenTuner {
+    seed: u64,
+}
+
+impl OpenTuner {
+    /// Creates an OpenTuner-style tuner with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+struct Arm {
+    technique: Box<dyn Technique>,
+    uses: usize,
+    /// Sliding window of 1/0 credits: did the proposal improve the best observation?
+    credits: Vec<f64>,
+}
+
+impl Arm {
+    fn score(&self, total_uses: usize) -> f64 {
+        let auc = if self.credits.is_empty() {
+            // Unused arms get an optimistic prior so every technique is tried.
+            1.0
+        } else {
+            self.credits.iter().sum::<f64>() / self.credits.len() as f64
+        };
+        let exploration = if self.uses == 0 {
+            f64::INFINITY
+        } else {
+            EXPLORATION * ((total_uses.max(1) as f64).ln() / self.uses as f64).sqrt()
+        };
+        auc + exploration
+    }
+
+    fn credit(&mut self, improved: bool) {
+        self.credits.push(if improved { 1.0 } else { 0.0 });
+        if self.credits.len() > CREDIT_WINDOW {
+            self.credits.remove(0);
+        }
+    }
+}
+
+impl Tuner for OpenTuner {
+    fn name(&self) -> &str {
+        "OpenTuner"
+    }
+
+    fn tune(
+        &mut self,
+        workload: &Workload,
+        cloud: &mut CloudEnvironment,
+        budget: TuningBudget,
+    ) -> TuningOutcome {
+        let mut rng = SimRng::new(self.seed).derive("opentuner");
+        let mut evaluator = CloudEvaluator::new(workload, cloud, budget);
+        let mut context = SearchContext::default();
+
+        let mut arms: Vec<Arm> = vec![
+            Arm {
+                technique: Box::new(RandomTechnique),
+                uses: 0,
+                credits: Vec::new(),
+            },
+            Arm {
+                technique: Box::new(HillClimbTechnique),
+                uses: 0,
+                credits: Vec::new(),
+            },
+            Arm {
+                technique: Box::new(PatternSearchTechnique::default()),
+                uses: 0,
+                credits: Vec::new(),
+            },
+            Arm {
+                technique: Box::new(EvolutionTechnique),
+                uses: 0,
+                credits: Vec::new(),
+            },
+        ];
+
+        // A small random warm-up seeds the context so structured techniques have a
+        // starting point.
+        let warmup = (budget.max_evaluations / 10).clamp(1, 10);
+        for _ in 0..warmup {
+            if evaluator.exhausted() {
+                break;
+            }
+            let id = RandomTechnique.propose(workload, &context, &mut rng);
+            let observed = evaluator.evaluate(id);
+            context.record(id, observed);
+        }
+
+        let mut total_uses = 0usize;
+        while !evaluator.exhausted() {
+            // Pick the arm with the best AUC + exploration score.
+            let chosen_arm = (0..arms.len())
+                .max_by(|a, b| {
+                    arms[*a]
+                        .score(total_uses)
+                        .partial_cmp(&arms[*b].score(total_uses))
+                        .expect("scores are not NaN")
+                })
+                .expect("there is at least one arm");
+            let previous_best = context.best.map(|(_, t)| t).unwrap_or(f64::INFINITY);
+            let proposal = arms[chosen_arm].technique.propose(workload, &context, &mut rng);
+            let observed = evaluator.evaluate(proposal);
+            context.record(proposal, observed);
+            let improved = observed < previous_best;
+            arms[chosen_arm].uses += 1;
+            arms[chosen_arm].credit(improved);
+            total_uses += 1;
+        }
+
+        let chosen = evaluator.best().map(|s| s.config).unwrap_or(0);
+        evaluator.finish(self.name(), chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_cloudsim::{InterferenceProfile, VmType};
+    use dg_workloads::Application;
+
+    #[test]
+    fn consumes_budget_and_selects_best_observation() {
+        let workload = Workload::scaled(Application::Redis, 10_000);
+        let mut cloud =
+            CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 17);
+        let outcome =
+            OpenTuner::new(4).tune(&workload, &mut cloud, TuningBudget::evaluations(80));
+        assert_eq!(outcome.samples, 80);
+        assert_eq!(outcome.chosen, outcome.best_observed().unwrap().config);
+    }
+
+    #[test]
+    fn beats_the_search_space_midpoint() {
+        let workload = Workload::scaled(Application::Ffmpeg, 10_000);
+        let mut cloud =
+            CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 23);
+        let outcome =
+            OpenTuner::new(5).tune(&workload, &mut cloud, TuningBudget::evaluations(120));
+        let config = workload.application().surface_config();
+        let midpoint = (config.best_time + config.worst_time) / 2.0;
+        assert!(workload.base_time(outcome.chosen) < midpoint);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let workload = Workload::scaled(Application::Lammps, 5_000);
+        let run = || {
+            let mut cloud =
+                CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 31);
+            OpenTuner::new(6)
+                .tune(&workload, &mut cloud, TuningBudget::evaluations(50))
+                .chosen
+        };
+        assert_eq!(run(), run());
+    }
+}

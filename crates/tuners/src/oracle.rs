@@ -1,0 +1,98 @@
+//! The dedicated-environment oracle ("Optimal" in the paper's figures).
+
+use crate::evaluator::TuningBudget;
+use crate::outcome::{SampleRecord, TuningOutcome};
+use dg_cloudsim::{DedicatedEnvironment, VmType};
+use dg_workloads::Workload;
+
+/// The infeasible-in-practice reference point: the configuration with the minimum
+/// execution time in a dedicated, interference-free environment.
+///
+/// The oracle does not implement [`Tuner`](crate::Tuner) because it does not tune in the
+/// cloud at all — it corresponds to the paper's "Optimal" bar, obtained from extensive
+/// dedicated-environment experiments performed purely for evaluation purposes.
+#[derive(Debug, Clone)]
+pub struct OracleTuner {
+    /// How many configurations the oracle samples in the dedicated environment (in
+    /// addition to the surface's planted optimum, which it always checks).
+    pub sample_budget: usize,
+}
+
+impl Default for OracleTuner {
+    fn default() -> Self {
+        Self {
+            sample_budget: 4_000,
+        }
+    }
+}
+
+impl OracleTuner {
+    /// Creates an oracle with the default dedicated-environment sampling budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Determines the optimal configuration and its dedicated execution time.
+    pub fn tune(&self, workload: &Workload, vm: VmType, budget: TuningBudget) -> TuningOutcome {
+        let sample_budget = self.sample_budget.max(budget.max_evaluations);
+        let chosen = workload.oracle_index(sample_budget);
+        let mut dedicated = DedicatedEnvironment::new(vm, workload.surface().seed());
+        let believed_time = dedicated.measure(workload.spec(chosen));
+        TuningOutcome {
+            tuner: "Optimal".to_string(),
+            chosen,
+            believed_time,
+            samples: sample_budget,
+            core_hours: dedicated.cost().core_hours(),
+            wall_clock_seconds: dedicated.cost().wall_clock_seconds(),
+            history: vec![SampleRecord {
+                config: chosen,
+                observed_time: believed_time,
+            }],
+        }
+    }
+
+    /// The dedicated-environment execution time of the optimal configuration — the
+    /// reference value every figure normalises against.
+    pub fn optimal_time(&self, workload: &Workload, vm: VmType) -> f64 {
+        let chosen = workload.oracle_index(self.sample_budget);
+        DedicatedEnvironment::new(vm, workload.surface().seed()).true_time(workload.spec(chosen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_workloads::Application;
+
+    #[test]
+    fn oracle_beats_random_configurations() {
+        let workload = Workload::scaled(Application::Redis, 10_000);
+        let oracle = OracleTuner::new();
+        let outcome = oracle.tune(&workload, VmType::M5_8xlarge, TuningBudget::evaluations(100));
+        let optimal_base = workload.base_time(outcome.chosen);
+        // Every configuration in a random sample must be at least as slow.
+        let mut rng = dg_cloudsim::SimRng::new(5);
+        for id in workload.random_configs(1_000, &mut rng) {
+            assert!(workload.base_time(id) >= optimal_base - 1e-9);
+        }
+    }
+
+    #[test]
+    fn optimal_time_matches_configured_best_scale() {
+        let workload = Workload::scaled(Application::Ffmpeg, 10_000);
+        let t = OracleTuner::new().optimal_time(&workload, VmType::M5_8xlarge);
+        let best = Application::Ffmpeg.surface_config().best_time;
+        assert!(t >= best * 0.95 && t <= best * 1.15, "oracle time {t}");
+    }
+
+    #[test]
+    fn oracle_outcome_is_well_formed() {
+        let workload = Workload::scaled(Application::Gromacs, 5_000);
+        let outcome =
+            OracleTuner::new().tune(&workload, VmType::M5_8xlarge, TuningBudget::evaluations(10));
+        assert_eq!(outcome.tuner, "Optimal");
+        assert!(outcome.believed_time > 0.0);
+        assert_eq!(outcome.history.len(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Uniform random search.
+
+use crate::evaluator::{CloudEvaluator, TuningBudget};
+use crate::outcome::TuningOutcome;
+use crate::tuner::Tuner;
+use dg_cloudsim::{CloudEnvironment, SimRng};
+use dg_workloads::Workload;
+
+/// Random search: sample uniformly at random and keep the best observation.
+///
+/// Random search is a surprisingly strong baseline in high-dimensional tuning spaces and
+/// serves as a sanity floor for the more sophisticated tuners.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    seed: u64,
+}
+
+impl RandomSearch {
+    /// Creates a random-search tuner with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Tuner for RandomSearch {
+    fn name(&self) -> &str {
+        "RandomSearch"
+    }
+
+    fn tune(
+        &mut self,
+        workload: &Workload,
+        cloud: &mut CloudEnvironment,
+        budget: TuningBudget,
+    ) -> TuningOutcome {
+        let mut rng = SimRng::new(self.seed).derive("random-search");
+        let mut evaluator = CloudEvaluator::new(workload, cloud, budget);
+        let size = workload.size();
+        while !evaluator.exhausted() {
+            let id = ((rng.uniform() * size as f64) as u64).min(size - 1);
+            evaluator.evaluate(id);
+        }
+        let chosen = evaluator.best().map(|s| s.config).unwrap_or(0);
+        evaluator.finish(self.name(), chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_cloudsim::{InterferenceProfile, VmType};
+    use dg_workloads::Application;
+
+    #[test]
+    fn uses_whole_budget_and_picks_best_observation() {
+        let workload = Workload::scaled(Application::Redis, 5_000);
+        let mut cloud =
+            CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 3);
+        let mut tuner = RandomSearch::new(11);
+        let outcome = tuner.tune(&workload, &mut cloud, TuningBudget::evaluations(40));
+        assert_eq!(outcome.samples, 40);
+        let best = outcome.best_observed().unwrap();
+        assert_eq!(outcome.chosen, best.config);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let workload = Workload::scaled(Application::Ffmpeg, 5_000);
+        let run = |seed_env: u64| {
+            let mut cloud =
+                CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), seed_env);
+            RandomSearch::new(5)
+                .tune(&workload, &mut cloud, TuningBudget::evaluations(25))
+                .chosen
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,205 @@
+//! A Nelder–Mead simplex optimiser over the unit hypercube.
+//!
+//! ActiveHarmony's search core is a parallel rank-order simplex method; this module
+//! provides the sequential Nelder–Mead variant it degenerates to when evaluations are
+//! performed one at a time (which is how a tuner operates against a single cloud VM).
+
+/// Standard Nelder–Mead coefficients.
+const REFLECTION: f64 = 1.0;
+const EXPANSION: f64 = 2.0;
+const CONTRACTION: f64 = 0.5;
+const SHRINK: f64 = 0.5;
+
+/// Minimises `objective` over `[0, 1]^dims` starting from the given simplex vertices.
+///
+/// The objective is called at most `max_evaluations` times; the best point seen and its
+/// value are returned. Vertices are clamped into the unit cube after every move.
+///
+/// # Panics
+///
+/// Panics if `initial` has fewer than `dims + 1` vertices or any vertex has the wrong
+/// dimensionality.
+pub fn nelder_mead<F>(
+    dims: usize,
+    initial: Vec<Vec<f64>>,
+    max_evaluations: usize,
+    mut objective: F,
+) -> (Vec<f64>, f64)
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(
+        initial.len() >= dims + 1,
+        "Nelder–Mead needs at least dims + 1 starting vertices"
+    );
+    assert!(
+        initial.iter().all(|v| v.len() == dims),
+        "all vertices must have the requested dimensionality"
+    );
+
+    let mut evaluations = 0usize;
+    let mut evaluate = |point: &[f64], evaluations: &mut usize| -> f64 {
+        *evaluations += 1;
+        objective(point)
+    };
+
+    // (value, point) pairs, kept sorted ascending by value.
+    let mut simplex: Vec<(f64, Vec<f64>)> = initial
+        .into_iter()
+        .take(dims + 1)
+        .map(|v| {
+            let clamped = clamp_unit(&v);
+            let value = evaluate(&clamped, &mut evaluations);
+            (value, clamped)
+        })
+        .collect();
+    sort_simplex(&mut simplex);
+
+    while evaluations < max_evaluations {
+        let centroid = centroid_of_best(&simplex, dims);
+        let worst = simplex.last().expect("simplex is non-empty").clone();
+
+        // Reflection.
+        let reflected = move_point(&centroid, &worst.1, REFLECTION);
+        let reflected_value = evaluate(&reflected, &mut evaluations);
+
+        if reflected_value < simplex[0].0 {
+            // Expansion.
+            if evaluations < max_evaluations {
+                let expanded = move_point(&centroid, &worst.1, EXPANSION);
+                let expanded_value = evaluate(&expanded, &mut evaluations);
+                if expanded_value < reflected_value {
+                    replace_worst(&mut simplex, expanded, expanded_value);
+                } else {
+                    replace_worst(&mut simplex, reflected, reflected_value);
+                }
+            } else {
+                replace_worst(&mut simplex, reflected, reflected_value);
+            }
+        } else if reflected_value < simplex[simplex.len() - 2].0 {
+            replace_worst(&mut simplex, reflected, reflected_value);
+        } else {
+            // Contraction toward the centroid.
+            if evaluations >= max_evaluations {
+                break;
+            }
+            let contracted = move_point(&centroid, &worst.1, -CONTRACTION);
+            let contracted_value = evaluate(&contracted, &mut evaluations);
+            if contracted_value < worst.0 {
+                replace_worst(&mut simplex, contracted, contracted_value);
+            } else {
+                // Shrink everything toward the best vertex.
+                let best = simplex[0].1.clone();
+                for vertex in simplex.iter_mut().skip(1) {
+                    if evaluations >= max_evaluations {
+                        break;
+                    }
+                    let shrunk: Vec<f64> = vertex
+                        .1
+                        .iter()
+                        .zip(best.iter())
+                        .map(|(v, b)| b + SHRINK * (v - b))
+                        .collect();
+                    let shrunk = clamp_unit(&shrunk);
+                    vertex.0 = evaluate(&shrunk, &mut evaluations);
+                    vertex.1 = shrunk;
+                }
+            }
+        }
+        sort_simplex(&mut simplex);
+
+        // Convergence: the simplex has collapsed.
+        let spread = simplex.last().expect("non-empty").0 - simplex[0].0;
+        if spread.abs() < 1e-9 {
+            break;
+        }
+    }
+
+    let best = simplex.into_iter().next().expect("simplex is non-empty");
+    (best.1, best.0)
+}
+
+fn clamp_unit(point: &[f64]) -> Vec<f64> {
+    point.iter().map(|v| v.clamp(0.0, 1.0)).collect()
+}
+
+fn sort_simplex(simplex: &mut [(f64, Vec<f64>)]) {
+    simplex.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("objective must not be NaN"));
+}
+
+fn centroid_of_best(simplex: &[(f64, Vec<f64>)], dims: usize) -> Vec<f64> {
+    let count = simplex.len() - 1;
+    let mut centroid = vec![0.0; dims];
+    for (_, vertex) in simplex.iter().take(count) {
+        for (c, v) in centroid.iter_mut().zip(vertex.iter()) {
+            *c += v / count as f64;
+        }
+    }
+    centroid
+}
+
+fn move_point(centroid: &[f64], worst: &[f64], coefficient: f64) -> Vec<f64> {
+    let moved: Vec<f64> = centroid
+        .iter()
+        .zip(worst.iter())
+        .map(|(c, w)| c + coefficient * (c - w))
+        .collect();
+    clamp_unit(&moved)
+}
+
+fn replace_worst(simplex: &mut [(f64, Vec<f64>)], point: Vec<f64>, value: f64) {
+    let last = simplex.len() - 1;
+    simplex[last] = (value, point);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regular_simplex(dims: usize, origin: f64) -> Vec<Vec<f64>> {
+        let mut vertices = vec![vec![origin; dims]];
+        for d in 0..dims {
+            let mut v = vec![origin; dims];
+            v[d] = (origin + 0.3).min(1.0);
+            vertices.push(v);
+        }
+        vertices
+    }
+
+    #[test]
+    fn minimises_a_quadratic_bowl() {
+        let target = [0.3, 0.7];
+        let (best, value) = nelder_mead(2, regular_simplex(2, 0.1), 200, |p| {
+            (p[0] - target[0]).powi(2) + (p[1] - target[1]).powi(2)
+        });
+        assert!(value < 1e-3, "value {value}");
+        assert!((best[0] - target[0]).abs() < 0.05);
+        assert!((best[1] - target[1]).abs() < 0.05);
+    }
+
+    #[test]
+    fn respects_evaluation_budget() {
+        let mut calls = 0usize;
+        nelder_mead(3, regular_simplex(3, 0.5), 25, |p| {
+            calls += 1;
+            p.iter().map(|x| x * x).sum()
+        });
+        assert!(calls <= 25 + 1, "calls {calls}");
+    }
+
+    #[test]
+    fn stays_inside_unit_cube() {
+        let (best, _) = nelder_mead(2, regular_simplex(2, 0.9), 100, |p| {
+            // Minimum far outside the cube pushes the search against the boundary.
+            (p[0] - 5.0).powi(2) + (p[1] - 5.0).powi(2)
+        });
+        assert!(best.iter().all(|v| (0.0..=1.0).contains(v)));
+        assert!(best.iter().all(|v| *v > 0.9), "should push to the boundary");
+    }
+
+    #[test]
+    #[should_panic(expected = "dims + 1")]
+    fn too_few_vertices_rejected() {
+        nelder_mead(3, vec![vec![0.0; 3]], 10, |_| 0.0);
+    }
+}

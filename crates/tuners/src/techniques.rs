@@ -1,0 +1,257 @@
+//! Search techniques used by the OpenTuner-style ensemble.
+//!
+//! OpenTuner's key idea is a *meta-technique*: a bandit that allocates evaluations among
+//! several complete search techniques (hill climbing, evolutionary search, pattern
+//! search, random sampling), crediting whichever technique has recently produced
+//! improvements. The individual techniques live here; the bandit lives in
+//! [`crate::OpenTuner`].
+
+use dg_cloudsim::SimRng;
+use dg_workloads::{ConfigId, Workload};
+
+/// Shared state the techniques draw on: the best configuration found so far and a pool of
+/// recent elites.
+#[derive(Debug, Clone, Default)]
+pub struct SearchContext {
+    /// Best configuration observed so far, with its observed time.
+    pub best: Option<(ConfigId, f64)>,
+    /// Recent good configurations (most recent last).
+    pub elites: Vec<(ConfigId, f64)>,
+}
+
+impl SearchContext {
+    /// Records an observation, maintaining the best value and a bounded elite pool.
+    pub fn record(&mut self, config: ConfigId, observed_time: f64) {
+        if self.best.map_or(true, |(_, t)| observed_time < t) {
+            self.best = Some((config, observed_time));
+        }
+        self.elites.push((config, observed_time));
+        self.elites
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("times are not NaN"));
+        self.elites.truncate(16);
+    }
+}
+
+/// A proposal-generating search technique.
+pub trait Technique {
+    /// Short name for bookkeeping.
+    fn name(&self) -> &'static str;
+
+    /// Proposes the next configuration to evaluate.
+    fn propose(&mut self, workload: &Workload, context: &SearchContext, rng: &mut SimRng)
+        -> ConfigId;
+}
+
+/// Uniform random sampling.
+#[derive(Debug, Default)]
+pub struct RandomTechnique;
+
+impl Technique for RandomTechnique {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn propose(
+        &mut self,
+        workload: &Workload,
+        _context: &SearchContext,
+        rng: &mut SimRng,
+    ) -> ConfigId {
+        let size = workload.size();
+        ((rng.uniform() * size as f64) as u64).min(size - 1)
+    }
+}
+
+/// Hill climbing: perturb one random dimension of the best configuration.
+#[derive(Debug, Default)]
+pub struct HillClimbTechnique;
+
+impl Technique for HillClimbTechnique {
+    fn name(&self) -> &'static str {
+        "hill-climb"
+    }
+
+    fn propose(
+        &mut self,
+        workload: &Workload,
+        context: &SearchContext,
+        rng: &mut SimRng,
+    ) -> ConfigId {
+        let space = workload.space();
+        let Some((best, _)) = context.best else {
+            return RandomTechnique.propose(workload, context, rng);
+        };
+        let mut point = space.point_of(best);
+        let dim = rng.index(point.len());
+        let levels = space.parameters()[dim].level_count();
+        if levels > 1 {
+            let mut new_level = rng.index(levels);
+            if new_level == point[dim] {
+                new_level = (new_level + 1) % levels;
+            }
+            point[dim] = new_level;
+        }
+        space.index_of(&point)
+    }
+}
+
+/// Pattern search: step ±1 level in a cycling dimension around the best configuration.
+#[derive(Debug, Default)]
+pub struct PatternSearchTechnique {
+    cursor: usize,
+    direction_up: bool,
+}
+
+impl Technique for PatternSearchTechnique {
+    fn name(&self) -> &'static str {
+        "pattern-search"
+    }
+
+    fn propose(
+        &mut self,
+        workload: &Workload,
+        context: &SearchContext,
+        rng: &mut SimRng,
+    ) -> ConfigId {
+        let space = workload.space();
+        let Some((best, _)) = context.best else {
+            return RandomTechnique.propose(workload, context, rng);
+        };
+        let mut point = space.point_of(best);
+        let dims = point.len();
+        // Find the next non-pinned dimension from the cursor.
+        for _ in 0..dims {
+            let dim = self.cursor % dims;
+            self.cursor += 1;
+            let levels = space.parameters()[dim].level_count();
+            if levels <= 1 {
+                continue;
+            }
+            let level = point[dim] as isize;
+            let stepped = if self.direction_up { level + 1 } else { level - 1 };
+            self.direction_up = !self.direction_up;
+            point[dim] = stepped.clamp(0, levels as isize - 1) as usize;
+            return space.index_of(&point);
+        }
+        best
+    }
+}
+
+/// Evolutionary search: uniform crossover of two elites plus a point mutation.
+#[derive(Debug, Default)]
+pub struct EvolutionTechnique;
+
+impl Technique for EvolutionTechnique {
+    fn name(&self) -> &'static str {
+        "evolution"
+    }
+
+    fn propose(
+        &mut self,
+        workload: &Workload,
+        context: &SearchContext,
+        rng: &mut SimRng,
+    ) -> ConfigId {
+        let space = workload.space();
+        if context.elites.len() < 2 {
+            return RandomTechnique.propose(workload, context, rng);
+        }
+        let a = context.elites[rng.index(context.elites.len().min(8))].0;
+        let b = context.elites[rng.index(context.elites.len().min(8))].0;
+        let point_a = space.point_of(a);
+        let point_b = space.point_of(b);
+        let mut child: Vec<usize> = point_a
+            .iter()
+            .zip(point_b.iter())
+            .map(|(x, y)| if rng.chance(0.5) { *x } else { *y })
+            .collect();
+        // Point mutation.
+        let dim = rng.index(child.len());
+        let levels = space.parameters()[dim].level_count();
+        if levels > 1 {
+            child[dim] = rng.index(levels);
+        }
+        space.index_of(&child)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_workloads::Application;
+
+    fn workload() -> Workload {
+        Workload::scaled(Application::Redis, 5_000)
+    }
+
+    #[test]
+    fn context_tracks_best_and_elites() {
+        let mut context = SearchContext::default();
+        context.record(1, 300.0);
+        context.record(2, 250.0);
+        context.record(3, 400.0);
+        assert_eq!(context.best, Some((2, 250.0)));
+        assert_eq!(context.elites[0].0, 2);
+    }
+
+    #[test]
+    fn elites_are_bounded() {
+        let mut context = SearchContext::default();
+        for i in 0..100 {
+            context.record(i, 1000.0 - i as f64);
+        }
+        assert!(context.elites.len() <= 16);
+    }
+
+    #[test]
+    fn techniques_propose_valid_configs() {
+        let workload = workload();
+        let mut rng = SimRng::new(1);
+        let mut context = SearchContext::default();
+        context.record(workload.size() / 2, 400.0);
+        context.record(workload.size() / 3, 380.0);
+
+        let mut techniques: Vec<Box<dyn Technique>> = vec![
+            Box::new(RandomTechnique),
+            Box::new(HillClimbTechnique),
+            Box::new(PatternSearchTechnique::default()),
+            Box::new(EvolutionTechnique),
+        ];
+        for technique in &mut techniques {
+            for _ in 0..50 {
+                let id = technique.propose(&workload, &context, &mut rng);
+                assert!(id < workload.size(), "{} proposed {id}", technique.name());
+            }
+        }
+    }
+
+    #[test]
+    fn hill_climb_stays_near_best() {
+        let workload = workload();
+        let mut rng = SimRng::new(2);
+        let mut context = SearchContext::default();
+        let best = workload.size() / 2;
+        context.record(best, 100.0);
+        let space = workload.space();
+        let best_point = space.point_of(best);
+        let id = HillClimbTechnique.propose(&workload, &context, &mut rng);
+        let proposed = space.point_of(id);
+        let differing = best_point
+            .iter()
+            .zip(proposed.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(differing <= 1, "hill climb should change at most one dimension");
+    }
+
+    #[test]
+    fn techniques_fall_back_to_random_without_context() {
+        let workload = workload();
+        let mut rng = SimRng::new(3);
+        let context = SearchContext::default();
+        let id = EvolutionTechnique.propose(&workload, &context, &mut rng);
+        assert!(id < workload.size());
+        let id = HillClimbTechnique.propose(&workload, &context, &mut rng);
+        assert!(id < workload.size());
+    }
+}

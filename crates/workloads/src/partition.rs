@@ -1,0 +1,210 @@
+//! Partitioning of the 1-D configuration index space into regions and subspaces.
+//!
+//! DarwinGame's regional phase divides the search space into `n_r` regions of equal size
+//! (Sec. 3.3); the hybrid integration of Sec. 3.6 divides it into coarser *subspaces*
+//! that an outer tuner navigates. Both are contiguous partitions of the index space and
+//! share this implementation.
+
+use crate::param::ConfigId;
+use dg_cloudsim::SimRng;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A contiguous, equal-sized partition of the configuration index space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexPartition {
+    total: u64,
+    parts: usize,
+}
+
+impl IndexPartition {
+    /// Partitions `total` configurations into `parts` contiguous pieces.
+    ///
+    /// If `parts > total`, the number of parts is clamped to `total` so that no part is
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0` or `parts == 0`.
+    pub fn new(total: u64, parts: usize) -> Self {
+        assert!(total > 0, "cannot partition an empty space");
+        assert!(parts > 0, "at least one part is required");
+        let parts = (parts as u64).min(total) as usize;
+        Self { total, parts }
+    }
+
+    /// Total number of configurations covered.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of parts.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// The index range covered by part `i`.
+    ///
+    /// Parts differ in size by at most one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.parts()`.
+    pub fn range(&self, i: usize) -> Range<ConfigId> {
+        assert!(i < self.parts, "part index out of range");
+        let parts = self.parts as u64;
+        let i = i as u64;
+        let base = self.total / parts;
+        let remainder = self.total % parts;
+        // The first `remainder` parts get one extra element.
+        let start = i * base + i.min(remainder);
+        let len = base + u64::from(i < remainder);
+        start..start + len
+    }
+
+    /// Number of configurations in part `i`.
+    pub fn part_size(&self, i: usize) -> u64 {
+        let r = self.range(i);
+        r.end - r.start
+    }
+
+    /// The part that contains configuration `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.total()`.
+    pub fn part_of(&self, index: ConfigId) -> usize {
+        assert!(index < self.total, "configuration index out of range");
+        let parts = self.parts as u64;
+        let base = self.total / parts;
+        let remainder = self.total % parts;
+        let big_region_span = (base + 1) * remainder;
+        let part = if index < big_region_span {
+            index / (base + 1)
+        } else {
+            remainder + (index - big_region_span) / base
+        };
+        part as usize
+    }
+
+    /// Draws a uniformly random configuration index from part `i`.
+    pub fn sample(&self, i: usize, rng: &mut SimRng) -> ConfigId {
+        let range = self.range(i);
+        let span = range.end - range.start;
+        range.start + (rng.uniform() * span as f64) as u64
+    }
+
+    /// Draws `count` distinct configuration indices from part `i` (or the whole part if
+    /// it has fewer than `count` configurations).
+    pub fn sample_distinct(&self, i: usize, count: usize, rng: &mut SimRng) -> Vec<ConfigId> {
+        let range = self.range(i);
+        let span = (range.end - range.start) as usize;
+        if span <= count {
+            return range.collect();
+        }
+        let mut chosen = std::collections::BTreeSet::new();
+        // Rejection sampling is fine because count << span in the regional phase.
+        let mut attempts = 0usize;
+        while chosen.len() < count && attempts < count * 64 {
+            chosen.insert(self.sample(i, rng));
+            attempts += 1;
+        }
+        // Degenerate fallback: fill sequentially from the start of the range.
+        let mut result: Vec<ConfigId> = chosen.into_iter().collect();
+        let mut next = range.start;
+        while result.len() < count {
+            if !result.contains(&next) {
+                result.push(next);
+            }
+            next += 1;
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_space_without_overlap() {
+        let partition = IndexPartition::new(103, 10);
+        let mut covered = 0u64;
+        let mut previous_end = 0u64;
+        for i in 0..partition.parts() {
+            let r = partition.range(i);
+            assert_eq!(r.start, previous_end, "parts must be contiguous");
+            covered += r.end - r.start;
+            previous_end = r.end;
+        }
+        assert_eq!(covered, 103);
+        assert_eq!(previous_end, 103);
+    }
+
+    #[test]
+    fn part_sizes_differ_by_at_most_one() {
+        let partition = IndexPartition::new(1_000_003, 97);
+        let sizes: Vec<u64> = (0..97).map(|i| partition.part_size(i)).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn part_of_is_inverse_of_range() {
+        let partition = IndexPartition::new(517, 13);
+        for i in 0..partition.parts() {
+            for index in partition.range(i) {
+                assert_eq!(partition.part_of(index), i, "index {index}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_parts_than_elements_is_clamped() {
+        let partition = IndexPartition::new(5, 20);
+        assert_eq!(partition.parts(), 5);
+        for i in 0..5 {
+            assert_eq!(partition.part_size(i), 1);
+        }
+    }
+
+    #[test]
+    fn samples_stay_inside_part() {
+        let partition = IndexPartition::new(10_000, 25);
+        let mut rng = SimRng::new(3);
+        for i in [0usize, 7, 24] {
+            let range = partition.range(i);
+            for _ in 0..200 {
+                let s = partition.sample(i, &mut rng);
+                assert!(range.contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_distinct_returns_unique_indices() {
+        let partition = IndexPartition::new(10_000, 10);
+        let mut rng = SimRng::new(4);
+        let samples = partition.sample_distinct(3, 32, &mut rng);
+        assert_eq!(samples.len(), 32);
+        let unique: std::collections::BTreeSet<_> = samples.iter().collect();
+        assert_eq!(unique.len(), 32);
+        let range = partition.range(3);
+        assert!(samples.iter().all(|s| range.contains(s)));
+    }
+
+    #[test]
+    fn sample_distinct_small_part_returns_everything() {
+        let partition = IndexPartition::new(64, 16); // 4 configs per part
+        let mut rng = SimRng::new(5);
+        let samples = partition.sample_distinct(2, 10, &mut rng);
+        assert_eq!(samples.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty space")]
+    fn empty_space_rejected() {
+        IndexPartition::new(0, 4);
+    }
+}

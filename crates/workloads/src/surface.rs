@@ -1,0 +1,510 @@
+//! Synthetic performance surfaces.
+//!
+//! The paper measures real applications; we cannot. What the tuners actually consume,
+//! however, is only the mapping *configuration → (dedicated execution time, interference
+//! sensitivity)*. [`SyntheticSurface`] generates that mapping procedurally with the
+//! statistical properties reported in Sec. 2 of the paper:
+//!
+//! * execution times spread over roughly `best..worst` with the vast majority of
+//!   configurations at least 2× slower than the best (Fig. 1 left);
+//! * faster configurations tend to be *more* sensitive to interference (Fig. 2);
+//! * a small fraction of configurations are both fast and robust — the "blue marker"
+//!   configurations a good cloud tuner should find.
+//!
+//! The surface is a pure function of its seed: every configuration index always maps to
+//! the same execution characteristics, no matter who asks or in which order.
+
+use crate::param::{ConfigId, ParameterSpace};
+use dg_cloudsim::{ExecutionSpec, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Anything that can translate a configuration index into execution characteristics.
+pub trait PerformanceSurface {
+    /// The parameter space this surface is defined over.
+    fn space(&self) -> &ParameterSpace;
+
+    /// Dedicated-environment execution time (seconds) of configuration `id`.
+    fn base_time(&self, id: ConfigId) -> f64;
+
+    /// Interference sensitivity of configuration `id`.
+    fn sensitivity(&self, id: ConfigId) -> f64;
+
+    /// The execution spec handed to the cloud simulator for configuration `id`.
+    fn spec(&self, id: ConfigId) -> ExecutionSpec {
+        ExecutionSpec::new(self.base_time(id), self.sensitivity(id))
+    }
+}
+
+/// Tuning knobs for [`SyntheticSurface`] generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurfaceConfig {
+    /// Execution time of the best configuration in a dedicated environment (seconds).
+    pub best_time: f64,
+    /// Execution time of the worst configuration in a dedicated environment (seconds).
+    pub worst_time: f64,
+    /// Target fraction of configurations whose execution time is below `2 * best_time`.
+    pub fast_fraction: f64,
+    /// Fraction of configurations belonging to the *near-optimal cluster*: well-tuned
+    /// configurations whose execution time lands within roughly 15 % of the spread above
+    /// the best. Real tuning spaces have such clusters (several parameter combinations
+    /// achieve close-to-best behaviour); without them the optimum would be an isolated
+    /// needle that no tuner — including the paper's — could approach.
+    pub cluster_fraction: f64,
+    /// Sensitivity assigned to the fastest configurations (before noise/robust rebates).
+    pub max_sensitivity: f64,
+    /// Sensitivity assigned to the slowest configurations.
+    pub min_sensitivity: f64,
+    /// Fraction of configurations that are "robust": their sensitivity is slashed,
+    /// creating the rare fast-and-stable configurations of Fig. 2. Fast configurations
+    /// (the best ~30 % of the time range) receive a higher robust probability, modelling
+    /// the small population of well-tuned *and* stable configurations the paper's Fig. 2
+    /// highlights in blue.
+    pub robust_fraction: f64,
+}
+
+impl Default for SurfaceConfig {
+    fn default() -> Self {
+        Self {
+            best_time: 230.0,
+            worst_time: 792.0,
+            fast_fraction: 0.04,
+            cluster_fraction: 0.003,
+            max_sensitivity: 1.1,
+            min_sensitivity: 0.15,
+            robust_fraction: 0.02,
+        }
+    }
+}
+
+impl SurfaceConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound is inconsistent (non-positive times, `worst <= best`,
+    /// fractions outside `(0, 1)`, or inverted sensitivities).
+    pub fn validate(&self) {
+        assert!(self.best_time > 0.0, "best_time must be positive");
+        assert!(
+            self.worst_time > self.best_time,
+            "worst_time must exceed best_time"
+        );
+        assert!(
+            self.fast_fraction > 0.0 && self.fast_fraction < 1.0,
+            "fast_fraction must be in (0, 1)"
+        );
+        assert!(
+            self.cluster_fraction >= 0.0 && self.cluster_fraction < 0.5,
+            "cluster_fraction must be in [0, 0.5)"
+        );
+        assert!(
+            self.robust_fraction >= 0.0 && self.robust_fraction < 1.0,
+            "robust_fraction must be in [0, 1)"
+        );
+        assert!(
+            self.max_sensitivity >= self.min_sensitivity && self.min_sensitivity >= 0.0,
+            "sensitivities must satisfy 0 <= min <= max"
+        );
+    }
+}
+
+/// A procedurally generated, deterministic performance surface.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticSurface {
+    space: ParameterSpace,
+    config: SurfaceConfig,
+    seed: u64,
+    /// Per-dimension weight of its penalty contribution (sums to 1 over free dims).
+    weights: Vec<f64>,
+    /// Per-dimension optimal level.
+    optimal_levels: Vec<usize>,
+    /// Per-dimension penalty table indexed by level.
+    penalties: Vec<Vec<f64>>,
+    /// Pairs of interacting dimensions and their weights.
+    interactions: Vec<(usize, usize, f64)>,
+    /// Sorted sample of raw penalty values used as an empirical CDF for shaping.
+    raw_quantiles: Vec<f64>,
+    /// Exponent applied to the CDF value to achieve the configured `fast_fraction`.
+    shape_exponent: f64,
+}
+
+/// Number of random configurations sampled to build the empirical raw-penalty CDF.
+const CDF_SAMPLES: usize = 4096;
+
+/// Relative strength of pairwise interactions versus per-dimension penalties.
+const INTERACTION_SHARE: f64 = 0.2;
+
+impl SyntheticSurface {
+    /// Generates a surface over `space` from a seed and generation knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is inconsistent (see [`SurfaceConfig::validate`]).
+    pub fn generate(space: ParameterSpace, config: SurfaceConfig, seed: u64) -> Self {
+        config.validate();
+        let mut rng = SimRng::new(seed).derive("surface");
+        let dims = space.dimensions();
+
+        // Per-dimension weights, optimal levels, and penalty tables.
+        let mut raw_weights = Vec::with_capacity(dims);
+        let mut optimal_levels = Vec::with_capacity(dims);
+        let mut penalties = Vec::with_capacity(dims);
+        for parameter in space.parameters() {
+            let levels = parameter.level_count();
+            if levels == 1 {
+                raw_weights.push(0.0);
+                optimal_levels.push(0);
+                penalties.push(vec![0.0]);
+                continue;
+            }
+            raw_weights.push(rng.uniform_range(0.4, 1.0));
+            let optimal = rng.index(levels);
+            optimal_levels.push(optimal);
+            let table: Vec<f64> = (0..levels)
+                .map(|level| {
+                    if level == optimal {
+                        0.0
+                    } else {
+                        let distance =
+                            (level as f64 - optimal as f64).abs() / (levels - 1).max(1) as f64;
+                        let noise = rng.uniform_range(0.0, 1.0);
+                        (0.45 * distance + 0.55 * noise).clamp(0.05, 1.0)
+                    }
+                })
+                .collect();
+            penalties.push(table);
+        }
+        let weight_sum: f64 = raw_weights.iter().sum();
+        let weights: Vec<f64> = if weight_sum > 0.0 {
+            raw_weights.iter().map(|w| w / weight_sum).collect()
+        } else {
+            raw_weights
+        };
+
+        // A handful of pairwise interactions between free dimensions.
+        let free_dims: Vec<usize> = (0..dims)
+            .filter(|d| space.parameters()[*d].level_count() > 1)
+            .collect();
+        let mut interactions = Vec::new();
+        if free_dims.len() >= 2 {
+            let pair_count = free_dims.len().min(6);
+            for _ in 0..pair_count {
+                let a = free_dims[rng.index(free_dims.len())];
+                let mut b = free_dims[rng.index(free_dims.len())];
+                if a == b {
+                    b = free_dims[(free_dims.iter().position(|d| *d == a).unwrap() + 1)
+                        % free_dims.len()];
+                }
+                if a != b {
+                    interactions.push((a, b, rng.uniform_range(0.5, 1.0)));
+                }
+            }
+            let total: f64 = interactions.iter().map(|(_, _, w)| w).sum();
+            if total > 0.0 {
+                for entry in &mut interactions {
+                    entry.2 /= total;
+                }
+            }
+        }
+
+        let mut surface = Self {
+            space,
+            config,
+            seed,
+            weights,
+            optimal_levels,
+            penalties,
+            interactions,
+            raw_quantiles: Vec::new(),
+            shape_exponent: 1.0,
+        };
+
+        // Build the empirical CDF of raw penalties and derive the shaping exponent that
+        // hits the requested fast_fraction.
+        let mut sampler = SimRng::new(seed).derive("surface-cdf");
+        let size = surface.space.size();
+        let mut samples: Vec<f64> = (0..CDF_SAMPLES)
+            .map(|_| {
+                let id = (sampler.uniform() * size as f64) as u64;
+                surface.raw_penalty(id.min(size - 1))
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("penalties are finite"));
+        surface.raw_quantiles = samples;
+
+        let threshold = (surface.config.best_time
+            / (surface.config.worst_time - surface.config.best_time))
+            .clamp(0.01, 0.99);
+        // We want P(U^beta < threshold) == fast_fraction, with U uniform via the CDF.
+        surface.shape_exponent =
+            (threshold.ln() / surface.config.fast_fraction.ln()).clamp(0.05, 1.0);
+        surface
+    }
+
+    /// The generation knobs this surface was built from.
+    pub fn config(&self) -> &SurfaceConfig {
+        &self.config
+    }
+
+    /// The seed this surface was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configuration index of the planted global optimum (every dimension at its
+    /// optimal level). Its execution time equals `best_time` up to shaping error.
+    pub fn planted_optimum(&self) -> ConfigId {
+        self.space.index_of(&self.optimal_levels)
+    }
+
+    /// Raw (unshaped) penalty of a configuration, in `[0, 1]`.
+    fn raw_penalty(&self, id: ConfigId) -> f64 {
+        let point = self.space.point_of(id);
+        let mut per_dimension = 0.0;
+        for (d, level) in point.iter().enumerate() {
+            per_dimension += self.weights[d] * self.penalties[d][*level];
+        }
+        let mut interaction = 0.0;
+        if !self.interactions.is_empty() {
+            for (a, b, weight) in &self.interactions {
+                let la = point[*a];
+                let lb = point[*b];
+                if la == self.optimal_levels[*a] && lb == self.optimal_levels[*b] {
+                    continue;
+                }
+                let pair_seed = dg_cloudsim::mix(self.seed, (*a as u64) << 32 | *b as u64);
+                let h = dg_cloudsim::hash_unit(pair_seed, (la as u64) << 32 | lb as u64);
+                interaction += weight * h;
+            }
+        }
+        ((1.0 - INTERACTION_SHARE) * per_dimension + INTERACTION_SHARE * interaction)
+            .clamp(0.0, 1.0)
+    }
+
+    /// Empirical CDF value of a raw penalty, in `[0, 1]`.
+    fn cdf(&self, raw: f64) -> f64 {
+        if self.raw_quantiles.is_empty() {
+            return raw;
+        }
+        let position = self.raw_quantiles.partition_point(|q| *q <= raw);
+        position as f64 / self.raw_quantiles.len() as f64
+    }
+
+    /// Normalised execution time in `[0, 1]` (0 = best, 1 = worst).
+    pub fn normalized_time(&self, id: ConfigId) -> f64 {
+        let u = self.cdf(self.raw_penalty(id));
+        let mut normalized = u.powf(self.shape_exponent);
+        // Members of the near-optimal cluster are pulled close to (but not onto) the
+        // best time: they pay a small premium over the absolute optimum, which is what
+        // makes them invisible to tuners that chase the single lowest noisy observation.
+        let cluster_draw = dg_cloudsim::hash_unit(dg_cloudsim::mix(self.seed, 0xc105), id);
+        if cluster_draw < self.config.cluster_fraction {
+            normalized = 0.04 + 0.08 * normalized;
+        }
+        normalized
+    }
+
+    /// Fraction of `samples` random configurations whose execution time is below
+    /// `2 * best_time` — used by calibration tests and reported in EXPERIMENTS.md.
+    pub fn measured_fast_fraction(&self, samples: usize, rng: &mut SimRng) -> f64 {
+        let size = self.space.size();
+        let threshold = 2.0 * self.config.best_time;
+        let hits = (0..samples)
+            .filter(|_| {
+                let id = (rng.uniform() * size as f64) as u64;
+                self.base_time(id.min(size - 1)) < threshold
+            })
+            .count();
+        hits as f64 / samples as f64
+    }
+}
+
+impl PerformanceSurface for SyntheticSurface {
+    fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    fn base_time(&self, id: ConfigId) -> f64 {
+        let normalized = self.normalized_time(id);
+        self.config.best_time + (self.config.worst_time - self.config.best_time) * normalized
+    }
+
+    fn sensitivity(&self, id: ConfigId) -> f64 {
+        let normalized = self.normalized_time(id);
+        let base = self.config.max_sensitivity
+            - (self.config.max_sensitivity - self.config.min_sensitivity) * normalized;
+        // Multiplicative noise decorrelates sensitivity from pure speed.
+        let noise =
+            0.7 + 0.6 * dg_cloudsim::hash_unit(dg_cloudsim::mix(self.seed, 0x5e75), id);
+        let mut sensitivity = base * noise;
+        // A small fraction of configurations are intrinsically robust; the fast part of
+        // the range is given a higher robust probability (the Fig. 2 "blue" population),
+        // because that is the population a cloud-aware tuner is supposed to find.
+        let robust_draw = dg_cloudsim::hash_unit(dg_cloudsim::mix(self.seed, 0x40b5), id);
+        // The very fastest configurations are never robust: a maximally optimised
+        // configuration pushes the system against its resource limits (Sec. 2 of the
+        // paper), so robustness only appears at a small premium above the optimum.
+        let robust_probability = if normalized < 0.035 {
+            0.0
+        } else if normalized < 0.3 {
+            self.config.robust_fraction * 5.0
+        } else {
+            self.config.robust_fraction
+        };
+        if robust_draw < robust_probability {
+            sensitivity *= 0.03;
+        }
+        sensitivity.clamp(0.015, 1.4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Parameter;
+
+    fn test_space() -> ParameterSpace {
+        ParameterSpace::new(
+            (0..12)
+                .map(|i| Parameter::with_level_count(format!("p{i}"), 3 + i % 3))
+                .collect(),
+        )
+    }
+
+    fn test_surface(seed: u64) -> SyntheticSurface {
+        SyntheticSurface::generate(test_space(), SurfaceConfig::default(), seed)
+    }
+
+    #[test]
+    fn times_stay_within_configured_bounds() {
+        let surface = test_surface(1);
+        let mut rng = SimRng::new(2);
+        let size = surface.space().size();
+        for _ in 0..2000 {
+            let id = (rng.uniform() * size as f64) as u64;
+            let t = surface.base_time(id);
+            assert!(t >= surface.config().best_time - 1e-9);
+            assert!(t <= surface.config().worst_time + 1e-9);
+        }
+    }
+
+    #[test]
+    fn surface_is_deterministic() {
+        let a = test_surface(7);
+        let b = test_surface(7);
+        for id in [0u64, 17, 999, 12_345] {
+            assert_eq!(a.base_time(id), b.base_time(id));
+            assert_eq!(a.sensitivity(id), b.sensitivity(id));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_surfaces() {
+        let a = test_surface(1);
+        let b = test_surface(2);
+        let differs = (0..100u64).any(|id| (a.base_time(id) - b.base_time(id)).abs() > 1e-9);
+        assert!(differs);
+    }
+
+    #[test]
+    fn planted_optimum_is_fast() {
+        let surface = test_surface(3);
+        let optimum = surface.planted_optimum();
+        let t = surface.base_time(optimum);
+        assert!(
+            t < surface.config().best_time * 1.05,
+            "planted optimum should be near best_time, got {t}"
+        );
+        // And it should beat a large random sample.
+        let mut rng = SimRng::new(9);
+        let size = surface.space().size();
+        for _ in 0..2000 {
+            let id = (rng.uniform() * size as f64) as u64;
+            assert!(surface.base_time(id) >= t - 1e-9);
+        }
+    }
+
+    #[test]
+    fn most_configurations_are_at_least_twice_the_best() {
+        // Fig. 1 (left): more than 93 % of configurations take at least 2x the best time.
+        let surface = test_surface(4);
+        let mut rng = SimRng::new(11);
+        let fast = surface.measured_fast_fraction(4000, &mut rng);
+        assert!(
+            fast < 0.12,
+            "too many fast configurations for a paper-shaped surface: {fast}"
+        );
+        assert!(fast > 0.0, "some fast configurations must exist");
+    }
+
+    #[test]
+    fn faster_configurations_are_more_sensitive_on_average() {
+        let surface = test_surface(5);
+        let mut rng = SimRng::new(12);
+        let size = surface.space().size();
+        let mut fast_sens = Vec::new();
+        let mut slow_sens = Vec::new();
+        for _ in 0..6000 {
+            let id = (rng.uniform() * size as f64) as u64;
+            let normalized = surface.normalized_time(id);
+            if normalized < 0.3 {
+                fast_sens.push(surface.sensitivity(id));
+            } else if normalized > 0.7 {
+                slow_sens.push(surface.sensitivity(id));
+            }
+        }
+        assert!(!fast_sens.is_empty() && !slow_sens.is_empty());
+        assert!(
+            dg_stats::mean(&fast_sens) > dg_stats::mean(&slow_sens),
+            "fast configs should be more interference-sensitive on average"
+        );
+    }
+
+    #[test]
+    fn robust_fast_configurations_exist_but_are_rare() {
+        let surface = test_surface(6);
+        let mut rng = SimRng::new(13);
+        let size = surface.space().size();
+        let mut robust_fast = 0usize;
+        let samples = 20_000usize;
+        for _ in 0..samples {
+            let id = (rng.uniform() * size as f64) as u64;
+            let fast = surface.base_time(id) < surface.config().best_time * 1.6;
+            let robust = surface.sensitivity(id) < 0.2;
+            if fast && robust {
+                robust_fast += 1;
+            }
+        }
+        let fraction = robust_fast as f64 / samples as f64;
+        assert!(fraction > 0.0, "sweet-spot configurations must exist");
+        assert!(fraction < 0.05, "sweet-spot configurations must be rare, got {fraction}");
+    }
+
+    #[test]
+    fn sensitivity_is_bounded() {
+        let surface = test_surface(8);
+        for id in 0..2000u64 {
+            let s = surface.sensitivity(id);
+            assert!((0.015..=1.4).contains(&s));
+        }
+    }
+
+    #[test]
+    fn spec_combines_time_and_sensitivity() {
+        let surface = test_surface(9);
+        let spec = surface.spec(42);
+        assert_eq!(spec.base_time(), surface.base_time(42));
+        assert_eq!(spec.sensitivity(), surface.sensitivity(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "worst_time must exceed best_time")]
+    fn invalid_config_rejected() {
+        let config = SurfaceConfig {
+            best_time: 100.0,
+            worst_time: 100.0,
+            ..SurfaceConfig::default()
+        };
+        SyntheticSurface::generate(test_space(), config, 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Integrating DarwinGame with existing tuners (Sec. 3.6 / Fig. 13).
+//!
+//! BLISS and ActiveHarmony are run twice: as-is, and with DarwinGame playing a tournament
+//! inside every subspace their outer loop visits.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example hybrid_integration
+//! ```
+
+use darwingame::prelude::*;
+use darwingame::stats::{Column, Table};
+
+fn measure(workload: &Workload, cloud: &CloudEnvironment, chosen: u64) -> (f64, f64) {
+    let runs = cloud.observe_repeated(workload.spec(chosen), 40, 1800.0);
+    (mean(&runs), coefficient_of_variation(&runs))
+}
+
+fn main() {
+    let workload = Workload::scaled(Application::Lammps, 16_000);
+    let vm = VmType::M5_8xlarge;
+    let budget = TuningBudget::evaluations(120);
+
+    let mut table = Table::new(vec![
+        Column::left("tuner"),
+        Column::right("mean time (s)"),
+        Column::right("CoV (%)"),
+        Column::right("core-hours"),
+    ]);
+
+    // Plain BLISS vs BLISS + DarwinGame.
+    {
+        let mut cloud = CloudEnvironment::new(vm, InterferenceProfile::typical(), 11);
+        let outcome = Bliss::new(3).tune(&workload, &mut cloud, budget);
+        let (time, cov) = measure(&workload, &cloud, outcome.chosen);
+        table.push_row(vec![
+            "BLISS".into(),
+            format!("{time:.1}"),
+            format!("{cov:.2}"),
+            format!("{:.1}", outcome.core_hours),
+        ]);
+    }
+    {
+        let mut cloud = CloudEnvironment::new(vm, InterferenceProfile::typical(), 12);
+        let outcome = HybridDarwinGame::bliss(3)
+            .with_subspaces(12)
+            .with_explorations(5)
+            .tune(&workload, &mut cloud, budget);
+        let (time, cov) = measure(&workload, &cloud, outcome.chosen);
+        table.push_row(vec![
+            "BLISS+DarwinGame".into(),
+            format!("{time:.1}"),
+            format!("{cov:.2}"),
+            format!("{:.1}", outcome.core_hours),
+        ]);
+    }
+
+    // Plain ActiveHarmony vs ActiveHarmony + DarwinGame.
+    {
+        let mut cloud = CloudEnvironment::new(vm, InterferenceProfile::typical(), 13);
+        let outcome = ActiveHarmony::new(5).tune(&workload, &mut cloud, budget);
+        let (time, cov) = measure(&workload, &cloud, outcome.chosen);
+        table.push_row(vec![
+            "ActiveHarmony".into(),
+            format!("{time:.1}"),
+            format!("{cov:.2}"),
+            format!("{:.1}", outcome.core_hours),
+        ]);
+    }
+    {
+        let mut cloud = CloudEnvironment::new(vm, InterferenceProfile::typical(), 14);
+        let outcome = HybridDarwinGame::active_harmony(5)
+            .with_subspaces(12)
+            .with_explorations(5)
+            .tune(&workload, &mut cloud, budget);
+        let (time, cov) = measure(&workload, &cloud, outcome.chosen);
+        table.push_row(vec![
+            "ActiveHarmony+DarwinGame".into(),
+            format!("{time:.1}"),
+            format!("{cov:.2}"),
+            format!("{:.1}", outcome.core_hours),
+        ]);
+    }
+
+    println!(
+        "Integrating DarwinGame with existing tuners on {} (noisy m5.8xlarge)\n",
+        workload.application()
+    );
+    println!("{}", table.render());
+    println!("(the +DarwinGame rows should show lower mean time and much lower CoV)");
+}

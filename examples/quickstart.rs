@@ -1,0 +1,58 @@
+//! Quickstart: tune a (simulated) Redis deployment in a noisy cloud with DarwinGame.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use darwingame::prelude::*;
+
+fn main() {
+    // 1. Pick the workload. `scaled` caps the search space (here 20,000 configurations
+    //    instead of the paper's 7.8 million) so the example finishes in seconds.
+    let workload = Workload::scaled(Application::Redis, 20_000);
+    println!(
+        "workload: {} — {} tunable parameters, {} configurations",
+        workload.application(),
+        workload.space().dimensions(),
+        workload.size()
+    );
+
+    // 2. Create the shared, interference-prone cloud environment (an m5.8xlarge VM with
+    //    the default noisy-neighbour profile).
+    let mut cloud = CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 42);
+
+    // 3. Configure the tournament. 48 regions is plenty for a 20k-point space; the
+    //    remaining parameters are the paper's defaults (d = 10 %, early termination on).
+    let mut config = TournamentConfig::scaled(48, 7);
+    config.players_per_game = Some(16);
+
+    // 4. Play the tournament.
+    let report = DarwinGame::new(config).run(&workload, &mut cloud);
+
+    println!("\n=== DarwinGame result ===");
+    println!("champion configuration : #{}", report.champion);
+    println!("  {}", workload.space().describe(report.champion));
+    println!("observed time (final)  : {:.1} s", report.champion_observed_time);
+    println!("games played           : {}", report.games_played);
+    println!("tuning cost            : {:.1} core-hours", report.core_hours);
+    for phase in &report.phases {
+        println!(
+            "  phase {:<14} {:>4} games  {:>8.1} core-hours",
+            phase.name, phase.games, phase.core_hours
+        );
+    }
+
+    // 5. Compare against the dedicated-environment optimum and measure stability of the
+    //    chosen configuration across 50 later executions in the cloud.
+    let oracle = OracleTuner::new().optimal_time(&workload, cloud.vm());
+    let champion_runs = cloud.observe_repeated(workload.spec(report.champion), 50, 1800.0);
+    println!("\n=== Quality of the chosen configuration ===");
+    println!("dedicated-environment optimum : {oracle:.1} s");
+    println!(
+        "champion, mean over 50 runs   : {:.1} s  (CoV {:.2} %)",
+        mean(&champion_runs),
+        coefficient_of_variation(&champion_runs)
+    );
+}

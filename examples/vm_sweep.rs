@@ -1,0 +1,55 @@
+//! DarwinGame across VM classes and sizes (Fig. 15).
+//!
+//! The same Redis workload is tuned on every VM type of the paper's sweep; DarwinGame's
+//! chosen configuration should stay within roughly 10 % of the dedicated-environment
+//! optimum everywhere, with a small coefficient of variation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example vm_sweep
+//! ```
+
+use darwingame::prelude::*;
+use darwingame::stats::{Column, Table};
+
+fn main() {
+    let workload = Workload::scaled(Application::Redis, 12_000);
+
+    let mut table = Table::new(vec![
+        Column::left("VM type"),
+        Column::right("vCPUs"),
+        Column::right("Oracle (s)"),
+        Column::right("DarwinGame (s)"),
+        Column::right("gap (%)"),
+        Column::right("CoV (%)"),
+    ]);
+
+    for (i, vm) in VmType::ALL.iter().enumerate() {
+        let vm = *vm;
+        let oracle = OracleTuner::new().optimal_time(&workload, vm);
+
+        let mut cloud = CloudEnvironment::new(vm, InterferenceProfile::typical(), 50 + i as u64);
+        let mut config = TournamentConfig::scaled(32, 7 + i as u64);
+        // P follows the VM's core count, but stays small enough for tiny VMs.
+        config.players_per_game = Some(vm.vcpus().min(16).max(2));
+        let report = DarwinGame::new(config).run(&workload, &mut cloud);
+
+        let runs = cloud.observe_repeated(workload.spec(report.champion), 40, 1800.0);
+        let mean_time = mean(&runs);
+        table.push_row(vec![
+            vm.name().into(),
+            format!("{}", vm.vcpus()),
+            format!("{oracle:.1}"),
+            format!("{mean_time:.1}"),
+            format!("{:.1}", 100.0 * (mean_time - oracle) / oracle),
+            format!("{:.2}", coefficient_of_variation(&runs)),
+        ]);
+    }
+
+    println!(
+        "DarwinGame vs Oracle across VM types ({}, 1M requests)\n",
+        workload.application()
+    );
+    println!("{}", table.render());
+}

@@ -1,0 +1,53 @@
+//! Umbrella crate for the DarwinGame reproduction.
+//!
+//! This crate simply re-exports the workspace members so that the examples and
+//! integration tests (and downstream users who want everything at once) can depend on a
+//! single crate:
+//!
+//! * [`cloudsim`] — the simulated, interference-prone cloud ([`dg_cloudsim`]).
+//! * [`workloads`] — parameter spaces and synthetic performance surfaces
+//!   ([`dg_workloads`]).
+//! * [`tuners`] — baseline tuners: Oracle, Exhaustive, Random, ActiveHarmony, OpenTuner,
+//!   BLISS ([`dg_tuners`]).
+//! * [`darwin`] — the DarwinGame tournament tuner and hybrid integration
+//!   ([`darwin_core`]).
+//! * [`stats`] — shared statistics helpers ([`dg_stats`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use darwingame::prelude::*;
+//!
+//! let workload = Workload::scaled(Application::Redis, 2_000);
+//! let mut cloud = CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 1);
+//! let mut config = TournamentConfig::scaled(6, 3);
+//! config.players_per_game = Some(8);
+//! let report = DarwinGame::new(config).run(&workload, &mut cloud);
+//! assert!(report.champion < workload.size());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use darwin_core as darwin;
+pub use dg_cloudsim as cloudsim;
+pub use dg_stats as stats;
+pub use dg_tuners as tuners;
+pub use dg_workloads as workloads;
+
+/// The most commonly used types, re-exported flat for examples and quick experiments.
+pub mod prelude {
+    pub use darwin_core::{
+        AblationConfig, DarwinGame, HybridDarwinGame, TournamentConfig, TournamentReport,
+    };
+    pub use dg_cloudsim::{
+        CloudEnvironment, DedicatedEnvironment, ExecutionSpec, InterferenceProfile, SimRng,
+        SimTime, VmType,
+    };
+    pub use dg_stats::{coefficient_of_variation, mean, EmpiricalCdf, Summary};
+    pub use dg_tuners::{
+        ActiveHarmony, Bliss, ExhaustiveSearch, OpenTuner, OracleTuner, RandomSearch, Tuner,
+        TuningBudget, TuningOutcome,
+    };
+    pub use dg_workloads::{Application, ParameterSpace, Workload};
+}

@@ -1,0 +1,119 @@
+//! Integration tests: the simulated workloads and cloud reproduce the paper's
+//! motivation statistics (Sec. 2, Fig. 1–2).
+
+use darwingame::prelude::*;
+
+/// Fig. 1 (left): execution times across random configurations span a wide range and the
+/// overwhelming majority of configurations are at least 2x slower than the best.
+#[test]
+fn execution_time_spread_matches_paper_shape() {
+    for app in Application::ALL {
+        let workload = Workload::scaled(app, 40_000);
+        let mut rng = SimRng::new(1);
+        let ids = workload.random_configs(2_000, &mut rng);
+        let times: Vec<f64> = ids.iter().map(|id| workload.base_time(*id)).collect();
+        let cdf = EmpiricalCdf::from_samples(&times);
+        let spread = cdf.max() / cdf.min();
+        assert!(
+            spread > 2.0,
+            "{app}: expected a wide execution-time spread, got {spread:.2}x"
+        );
+        let oracle = workload.oracle_time(2_000);
+        let below_twice_best = cdf.fraction_at_or_below(2.0 * oracle);
+        assert!(
+            below_twice_best < 0.15,
+            "{app}: too many configurations within 2x of the best ({below_twice_best:.3})"
+        );
+    }
+}
+
+/// Fig. 1 (right): the same configuration run repeatedly in the cloud shows substantial
+/// run-to-run variation when it is interference-sensitive.
+#[test]
+fn repeated_cloud_runs_of_a_sensitive_config_vary() {
+    let workload = Workload::scaled(Application::Redis, 20_000);
+    let cloud = CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 2);
+    // The dedicated-environment optimum is sensitive by construction.
+    let optimum = workload.oracle_index(2_000);
+    assert!(workload.sensitivity(optimum) > 0.5);
+    let runs = cloud.observe_repeated(workload.spec(optimum), 200, 1_200.0);
+    let summary = Summary::from_slice(&runs);
+    let max_variation = 100.0 * (summary.max() - summary.min()) / summary.min();
+    assert!(
+        max_variation > 15.0,
+        "a sensitive configuration should vary noticeably across runs, got {max_variation:.1}%"
+    );
+    assert!(summary.coefficient_of_variation() > 3.0);
+}
+
+/// Fig. 2: faster configurations tend to vary more, yet a small population of fast and
+/// stable configurations exists.
+#[test]
+fn cov_scatter_shows_tradeoff_and_sweet_spots() {
+    let workload = Workload::scaled(Application::Redis, 40_000);
+    let cloud = CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 3);
+    let mut rng = SimRng::new(4);
+    let ids = workload.random_configs(300, &mut rng);
+
+    let mut fast_covs = Vec::new();
+    let mut slow_covs = Vec::new();
+    let oracle = workload.oracle_time(2_000);
+    for id in ids {
+        let runs = cloud.observe_repeated(workload.spec(id), 60, 1_500.0);
+        let mean = darwingame::stats::mean(&runs);
+        let cov = coefficient_of_variation(&runs);
+        if mean < oracle * 1.9 {
+            fast_covs.push(cov);
+        } else if mean > oracle * 2.4 {
+            slow_covs.push(cov);
+        }
+    }
+    assert!(!fast_covs.is_empty() && !slow_covs.is_empty());
+    // Fig. 2's two messages: the fast band contains highly variable configurations
+    // (pushing the system to its limits makes them fragile) ...
+    let fast_max = fast_covs.iter().copied().fold(0.0_f64, f64::max);
+    let slow_mean = darwingame::stats::mean(&slow_covs);
+    assert!(
+        fast_max > slow_mean,
+        "the fast band should contain configurations more variable than the slow average \
+         (fast max {fast_max:.2}% vs slow mean {slow_mean:.2}%)"
+    );
+    // ... and, in the surface itself, the fast half is more interference-sensitive than
+    // the slow half on average (the cloud-side measurement adds bucketing noise, so this
+    // part of the trend is checked directly on the sensitivity field).
+    let mut rng = SimRng::new(9);
+    let sample = workload.random_configs(4_000, &mut rng);
+    let (mut fast_sens, mut slow_sens) = (Vec::new(), Vec::new());
+    for id in sample {
+        let normalized = (workload.base_time(id) - oracle)
+            / (workload.application().surface_config().worst_time - oracle);
+        if normalized < 0.3 {
+            fast_sens.push(workload.sensitivity(id));
+        } else if normalized > 0.7 {
+            slow_sens.push(workload.sensitivity(id));
+        }
+    }
+    assert!(
+        darwingame::stats::mean(&fast_sens) > darwingame::stats::mean(&slow_sens),
+        "faster configurations should be more interference-sensitive on average"
+    );
+}
+
+/// The interference signal itself is time-varying, non-negative, and differs between
+/// VM classes the way the paper describes (smaller VMs see more noise).
+#[test]
+fn interference_grows_on_smaller_vms() {
+    let workload = Workload::scaled(Application::Redis, 10_000);
+    let config = workload.spec(workload.oracle_index(500));
+    let small = CloudEnvironment::new(VmType::M5Large, InterferenceProfile::typical(), 5);
+    let large = CloudEnvironment::new(VmType::M5_24xlarge, InterferenceProfile::typical(), 5);
+    let small_runs = small.observe_repeated(config, 80, 1_500.0);
+    let large_runs = large.observe_repeated(config, 80, 1_500.0);
+    // Normalise by the VM speed factor so only the interference component differs.
+    let small_mean = darwingame::stats::mean(&small_runs) / VmType::M5Large.speed_factor();
+    let large_mean = darwingame::stats::mean(&large_runs) / VmType::M5_24xlarge.speed_factor();
+    assert!(
+        small_mean > large_mean,
+        "small VMs should suffer more interference: {small_mean:.1} vs {large_mean:.1}"
+    );
+}
