@@ -37,7 +37,10 @@ fn main() {
         Column::right("% of configurations <= t"),
     ]);
     for (value, fraction) in cdf.sampled_points(10) {
-        cdf_table.push_row(vec![format!("{value:.0}"), format!("{:.1}", fraction * 100.0)]);
+        cdf_table.push_row(vec![
+            format!("{value:.0}"),
+            format!("{:.1}", fraction * 100.0),
+        ]);
     }
     println!("\n{}", cdf_table.render());
 
@@ -73,10 +76,15 @@ fn main() {
             format!("{:.1}", summary.mean()),
             format!("{:.1}", summary.min()),
             format!("{:.1}", summary.max()),
-            format!("{:.1}", 100.0 * (summary.max() - summary.min()) / summary.min()),
+            format!(
+                "{:.1}",
+                100.0 * (summary.max() - summary.min()) / summary.min()
+            ),
             format!("{:.1}", summary.coefficient_of_variation()),
         ]);
     }
     println!("{}", run_table.render());
-    println!("(paper: execution time of a fixed configuration can vary by up to ~45 % across runs)");
+    println!(
+        "(paper: execution time of a fixed configuration can vary by up to ~45 % across runs)"
+    );
 }

@@ -63,7 +63,10 @@ fn main() {
             "Optimal (run in cloud)".into(),
             format!("{:.1}", optimal_cloud.mean()),
             format!("{:.1}", optimal_cloud.range_half_width()),
-            format!("{:.1}", dg_stats::percent_change(optimal_cloud.mean(), oracle)),
+            format!(
+                "{:.1}",
+                dg_stats::percent_change(optimal_cloud.mean(), oracle)
+            ),
             "1".into(),
         ]);
 
@@ -75,7 +78,14 @@ fn main() {
             darwin_times.push(choice.mean_time);
             darwin_picks.push(choice.chosen);
         }
-        push_tuner_row(&mut table, app, "DarwinGame", &darwin_times, &darwin_picks, oracle);
+        push_tuner_row(
+            &mut table,
+            app,
+            "DarwinGame",
+            &darwin_times,
+            &darwin_picks,
+            oracle,
+        );
 
         // Baselines (three repeats each to keep the total runtime reasonable).
         let repeats = scale.tuning_repeats.min(3);
@@ -89,13 +99,8 @@ fn main() {
             let mut times = Vec::new();
             let mut picks = Vec::new();
             for repeat in 0..repeats {
-                let choice = run_baseline(
-                    tuner.as_mut(),
-                    app,
-                    &scale,
-                    2_000 + repeat as u64 * 17,
-                    0.0,
-                );
+                let choice =
+                    run_baseline(tuner.as_mut(), app, &scale, 2_000 + repeat as u64 * 17, 0.0);
                 times.push(choice.mean_time);
                 picks.push(choice.chosen);
             }
@@ -105,8 +110,12 @@ fn main() {
     }
 
     println!("{}", table.render());
-    println!("(\"range ±\" is half the min-max spread across tuning repeats — the Fig. 10 error bars;");
-    println!(" \"distinct picks\" reproduces the Sec. 5 stability claim: DarwinGame re-selects the");
+    println!(
+        "(\"range ±\" is half the min-max spread across tuning repeats — the Fig. 10 error bars;"
+    );
+    println!(
+        " \"distinct picks\" reproduces the Sec. 5 stability claim: DarwinGame re-selects the"
+    );
     println!(" same configuration across repeats far more often than the baselines.)");
 }
 

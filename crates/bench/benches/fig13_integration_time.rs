@@ -6,9 +6,7 @@
 //!
 //! Run with `cargo bench --bench fig13_integration_time`.
 
-use dg_bench::{
-    run_baseline, run_hybrid_active_harmony, run_hybrid_bliss, ExperimentScale,
-};
+use dg_bench::{run_baseline, run_hybrid_active_harmony, run_hybrid_bliss, ExperimentScale};
 use dg_stats::{Column, Table};
 use dg_tuners::{ActiveHarmony, Bliss};
 use dg_workloads::Application;

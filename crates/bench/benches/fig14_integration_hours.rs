@@ -5,9 +5,7 @@
 //!
 //! Run with `cargo bench --bench fig14_integration_hours`.
 
-use dg_bench::{
-    run_baseline, run_hybrid_active_harmony, run_hybrid_bliss, ExperimentScale,
-};
+use dg_bench::{run_baseline, run_hybrid_active_harmony, run_hybrid_bliss, ExperimentScale};
 use dg_stats::{Column, Table};
 use dg_tuners::{ActiveHarmony, Bliss, ExhaustiveSearch};
 use dg_workloads::Application;

@@ -17,16 +17,76 @@ use dg_workloads::Application;
 fn ablations() -> Vec<(&'static str, AblationConfig)> {
     let full = AblationConfig::full();
     vec![
-        ("w/o regional", AblationConfig { regional_phase: false, ..full }),
-        ("one-win regional", AblationConfig { single_regional_winner: true, ..full }),
-        ("w/o Swiss", AblationConfig { swiss_regional: false, ..full }),
-        ("w/o global", AblationConfig { global_phase: false, ..full }),
-        ("w/o double eli.", AblationConfig { double_elimination: false, ..full }),
-        ("w/o barrage", AblationConfig { barrage_playoffs: false, ..full }),
-        ("w/o consistency score", AblationConfig { consistency_score: false, ..full }),
-        ("w/o exe. score", AblationConfig { execution_score: false, ..full }),
-        ("all 2-player games", AblationConfig { multiplayer_games: false, ..full }),
-        ("w/o early termination", AblationConfig { early_termination: false, ..full }),
+        (
+            "w/o regional",
+            AblationConfig {
+                regional_phase: false,
+                ..full
+            },
+        ),
+        (
+            "one-win regional",
+            AblationConfig {
+                single_regional_winner: true,
+                ..full
+            },
+        ),
+        (
+            "w/o Swiss",
+            AblationConfig {
+                swiss_regional: false,
+                ..full
+            },
+        ),
+        (
+            "w/o global",
+            AblationConfig {
+                global_phase: false,
+                ..full
+            },
+        ),
+        (
+            "w/o double eli.",
+            AblationConfig {
+                double_elimination: false,
+                ..full
+            },
+        ),
+        (
+            "w/o barrage",
+            AblationConfig {
+                barrage_playoffs: false,
+                ..full
+            },
+        ),
+        (
+            "w/o consistency score",
+            AblationConfig {
+                consistency_score: false,
+                ..full
+            },
+        ),
+        (
+            "w/o exe. score",
+            AblationConfig {
+                execution_score: false,
+                ..full
+            },
+        ),
+        (
+            "all 2-player games",
+            AblationConfig {
+                multiplayer_games: false,
+                ..full
+            },
+        ),
+        (
+            "w/o early termination",
+            AblationConfig {
+                early_termination: false,
+                ..full
+            },
+        ),
     ]
 }
 

@@ -59,7 +59,10 @@ fn bench_gp_fit(c: &mut Criterion) {
     let points: Vec<Vec<f64>> = (0..96)
         .map(|i| vec![(i % 10) as f64 / 9.0, (i / 10) as f64 / 9.0])
         .collect();
-    let targets: Vec<f64> = points.iter().map(|p| 300.0 + 100.0 * (p[0] - p[1])).collect();
+    let targets: Vec<f64> = points
+        .iter()
+        .map(|p| 300.0 + 100.0 * (p[0] - p[1]))
+        .collect();
     c.bench_function("gp_fit_96_points", |b| {
         b.iter(|| {
             let mut gp = GaussianProcess::new(0.2, 1e-3);

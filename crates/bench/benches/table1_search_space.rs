@@ -38,7 +38,11 @@ fn main() {
 
     println!("Application-level parameters:");
     for app in Application::ALL {
-        println!("  {:<8} {}", app.name(), app.application_parameters().join(", "));
+        println!(
+            "  {:<8} {}",
+            app.name(),
+            app.application_parameters().join(", ")
+        );
     }
     println!(
         "\nSystem-level parameters (shared): {}",

@@ -70,11 +70,20 @@ impl ExperimentScale {
     pub fn validate(&self) {
         assert!(self.space_size > 0, "space_size must be positive");
         assert!(self.regions > 0, "regions must be positive");
-        assert!(self.players_per_game >= 2, "players_per_game must be at least 2");
+        assert!(
+            self.players_per_game >= 2,
+            "players_per_game must be at least 2"
+        );
         assert!(self.baseline_budget > 0, "baseline_budget must be positive");
-        assert!(self.exhaustive_budget > 0, "exhaustive_budget must be positive");
+        assert!(
+            self.exhaustive_budget > 0,
+            "exhaustive_budget must be positive"
+        );
         assert!(self.evaluation_runs > 0, "evaluation_runs must be positive");
-        assert!(self.evaluation_spacing > 0.0, "evaluation_spacing must be positive");
+        assert!(
+            self.evaluation_spacing > 0.0,
+            "evaluation_spacing must be positive"
+        );
         assert!(self.tuning_repeats > 0, "tuning_repeats must be positive");
     }
 }

@@ -218,7 +218,9 @@ impl CloudEnvironment {
     /// error bars of Fig. 10). The `salt` decorrelates the per-run measurement jitter of
     /// repeated observations at the same start time.
     pub fn observe_single_at(&self, spec: ExecutionSpec, start: SimTime, salt: u64) -> f64 {
-        let mut rng = SimRng::new(self.node_seed).derive_index(salt).derive("observe");
+        let mut rng = SimRng::new(self.node_seed)
+            .derive_index(salt)
+            .derive("observe");
         let scaled = spec.scaled(self.vm.speed_factor());
         let mut run = ColocatedRun::new(
             self.vm,
@@ -347,7 +349,10 @@ mod tests {
         let spec = ExecutionSpec::new(200.0, 1.0);
         let samples = cloud.observe_repeated(spec, 40, 1800.0);
         let cov = dg_stats::coefficient_of_variation(&samples);
-        assert!(cov > 1.0, "a sensitive config must show variability, cov={cov}");
+        assert!(
+            cov > 1.0,
+            "a sensitive config must show variability, cov={cov}"
+        );
         // And everything is at least the dedicated time.
         assert!(samples.iter().all(|t| *t >= 190.0));
     }
@@ -399,11 +404,7 @@ mod tests {
 
     #[test]
     fn vm_speed_factor_applies() {
-        let mut fast = CloudEnvironment::new(
-            VmType::C5_9xlarge,
-            InterferenceProfile::Dedicated,
-            1,
-        );
+        let mut fast = CloudEnvironment::new(VmType::C5_9xlarge, InterferenceProfile::Dedicated, 1);
         let mut slow = CloudEnvironment::new(VmType::M5Large, InterferenceProfile::Dedicated, 1);
         let spec = ExecutionSpec::new(100.0, 0.0);
         let tf = fast.run_single(spec).observed_time;

@@ -77,7 +77,10 @@ impl ColocatedRun {
         interference: Box<dyn InterferenceModel>,
         rng: &mut SimRng,
     ) -> Self {
-        assert!(!specs.is_empty(), "a co-located run needs at least one player");
+        assert!(
+            !specs.is_empty(),
+            "a co-located run needs at least one player"
+        );
         let players = specs.len();
         let vcpus = vm.vcpus();
         let contention = CONTENTION_COEFF * (players.saturating_sub(1)) as f64 / vcpus as f64;
@@ -91,7 +94,10 @@ impl ColocatedRun {
             .map(|_| rng.normal_with(1.0, PLAYER_JITTER_STD).clamp(0.6, 1.4))
             .collect();
         let measurement_noise: Vec<f64> = (0..players)
-            .map(|_| rng.normal_with(1.0, MEASUREMENT_NOISE_STD).clamp(0.99, 1.01))
+            .map(|_| {
+                rng.normal_with(1.0, MEASUREMENT_NOISE_STD)
+                    .clamp(0.99, 1.01)
+            })
             .collect();
         Self {
             vm,
@@ -346,7 +352,13 @@ impl ColocationOutcome {
         }
         self.estimated_times
             .iter()
-            .map(|t| if t.is_finite() { (best / t).min(1.0) } else { 0.0 })
+            .map(|t| {
+                if t.is_finite() {
+                    (best / t).min(1.0)
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 }
@@ -385,7 +397,10 @@ mod tests {
         let mut run = ColocatedRun::new(
             VmType::M5_8xlarge,
             SimTime::from_seconds(500.0),
-            vec![ExecutionSpec::new(200.0, 0.6), ExecutionSpec::new(400.0, 0.6)],
+            vec![
+                ExecutionSpec::new(200.0, 0.6),
+                ExecutionSpec::new(400.0, 0.6),
+            ],
             model,
             &mut rng,
         );
@@ -404,7 +419,7 @@ mod tests {
             ExecutionSpec::new(50.0, 0.2),
             ExecutionSpec::new(75.0, 0.9),
         ]);
-        let mut previous = vec![0.0, 0.0];
+        let mut previous = [0.0, 0.0];
         for _ in 0..500 {
             run.step(1.0);
             for (i, p) in run.work_fractions().iter().enumerate() {

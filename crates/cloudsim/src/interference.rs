@@ -132,7 +132,11 @@ impl RegimeNoise {
     pub fn new(seed: u64, period: f64, levels: Vec<f64>, weights: Vec<f64>) -> Self {
         assert!(period > 0.0, "period must be positive");
         assert!(!levels.is_empty(), "at least one regime level required");
-        assert_eq!(levels.len(), weights.len(), "levels/weights length mismatch");
+        assert_eq!(
+            levels.len(),
+            weights.len(),
+            "levels/weights length mismatch"
+        );
         assert!(
             weights.iter().all(|w| *w >= 0.0) && weights.iter().sum::<f64>() > 0.0,
             "weights must be non-negative with a positive sum"
@@ -340,7 +344,12 @@ fn build_composite(
     let regime = RegimeNoise::new(
         mix(seed, 2),
         900.0,
-        vec![0.0, 0.12 * regime_scale, 0.3 * regime_scale, 0.55 * regime_scale],
+        vec![
+            0.0,
+            0.12 * regime_scale,
+            0.3 * regime_scale,
+            0.55 * regime_scale,
+        ],
         vec![0.35, 0.35, 0.2, 0.1],
     );
     let burst = BurstNoise::new(mix(seed, 3), 600.0, 0.25, burst_magnitude, 0.15);
@@ -433,10 +442,16 @@ mod tests {
     fn heavy_profile_is_heavier_than_typical() {
         let typical = InterferenceProfile::typical().build(5);
         let heavy = InterferenceProfile::heavy().build(5);
-        let t_mean: f64 =
-            dg_stats::mean(&times(5000, 11.0).map(|t| typical.level(t)).collect::<Vec<_>>());
-        let h_mean: f64 =
-            dg_stats::mean(&times(5000, 11.0).map(|t| heavy.level(t)).collect::<Vec<_>>());
+        let t_mean: f64 = dg_stats::mean(
+            &times(5000, 11.0)
+                .map(|t| typical.level(t))
+                .collect::<Vec<_>>(),
+        );
+        let h_mean: f64 = dg_stats::mean(
+            &times(5000, 11.0)
+                .map(|t| heavy.level(t))
+                .collect::<Vec<_>>(),
+        );
         assert!(h_mean > t_mean * 1.3, "heavy={h_mean} typical={t_mean}");
     }
 

@@ -6,8 +6,48 @@
 //! jitter, tuner exploration) never consume from the same stream and experiments remain
 //! reproducible regardless of evaluation order.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// The core generator behind [`SimRng`]: xoshiro256++, seeded through SplitMix64.
+///
+/// Implemented locally (rather than via the `rand` crate) so the simulator has zero
+/// external dependencies and the exact value streams are pinned by this repository —
+/// a `rand` version bump can never silently change every experiment.
+#[derive(Debug, Clone)]
+struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Expands a 64-bit seed into the full 256-bit state with SplitMix64, the
+    /// seeding procedure recommended by the xoshiro authors.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// A deterministic random source with cheap sub-stream derivation.
 ///
@@ -25,7 +65,7 @@ use rand::{Rng, RngCore, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: StdRng,
+    inner: Xoshiro256PlusPlus,
 }
 
 impl SimRng {
@@ -33,7 +73,7 @@ impl SimRng {
     pub fn new(seed: u64) -> Self {
         Self {
             seed,
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256PlusPlus::seed_from_u64(seed),
         }
     }
 
@@ -54,7 +94,8 @@ impl SimRng {
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // Top 53 bits form the mantissa of a double in [0, 1).
+        (self.inner.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -74,7 +115,8 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index requires a non-empty range");
-        self.inner.gen_range(0..n)
+        // Multiply-shift bounded sampling (Lemire); bias is < 2^-64 per draw.
+        ((self.inner.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Standard normal sample (Box–Muller).
@@ -130,23 +172,23 @@ impl SimRng {
         }
         weights.len() - 1
     }
-}
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+    /// Next raw 32-bit value (upper half of the 64-bit output).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.inner.next_u64() >> 32) as u32
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
         self.inner.next_u64()
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+    /// Fills a byte slice with random data.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.inner.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 }
 

@@ -150,7 +150,10 @@ impl TournamentConfig {
             assert!(p >= 2, "games need at least two players");
         }
         if let Some((start, end)) = self.search_range {
-            assert!(start < end, "search_range must be a non-empty half-open range");
+            assert!(
+                start < end,
+                "search_range must be a non-empty half-open range"
+            );
         }
     }
 

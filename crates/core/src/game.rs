@@ -94,11 +94,7 @@ pub fn play_game(
     let mut run = cloud.start_colocated(&specs);
     let step = run.default_step();
     // Safety cap: no game can run longer than a generous multiple of the slowest spec.
-    let max_seconds = specs
-        .iter()
-        .map(|s| s.base_time())
-        .fold(0.0_f64, f64::max)
-        * 64.0;
+    let max_seconds = specs.iter().map(|s| s.base_time()).fold(0.0_f64, f64::max) * 64.0;
 
     let mut early_terminated = false;
     while !run.any_finished() && run.elapsed() < max_seconds {
@@ -187,10 +183,8 @@ mod tests {
         let (workload, mut cloud) = setup();
         let (fast, slow) = fast_and_slow(&workload);
 
-        let with_early =
-            play_game(&mut cloud, &workload, &[fast, slow], GameOptions::default());
-        let without_early =
-            play_game(&mut cloud, &workload, &[fast, slow], GameOptions::playoff());
+        let with_early = play_game(&mut cloud, &workload, &[fast, slow], GameOptions::default());
+        let without_early = play_game(&mut cloud, &workload, &[fast, slow], GameOptions::playoff());
         assert!(with_early.early_terminated);
         assert!(!without_early.early_terminated);
         assert!(with_early.elapsed < without_early.elapsed);

@@ -82,8 +82,10 @@ pub fn run_global_phase(
             }
             let standings = result.standings();
             let keep = config.main_bracket_target.min(standings.len());
-            let finalists: Vec<Player> =
-                standings[..keep].iter().map(|i| players[*i].clone()).collect();
+            let finalists: Vec<Player> = standings[..keep]
+                .iter()
+                .map(|i| players[*i].clone())
+                .collect();
             return GlobalOutcome {
                 finalists,
                 wildcard: None,
@@ -224,8 +226,7 @@ mod tests {
 
     fn setup() -> (Workload, CloudEnvironment, TournamentConfig) {
         let workload = Workload::scaled(Application::Redis, 10_000);
-        let cloud =
-            CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 23);
+        let cloud = CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 23);
         let mut config = TournamentConfig::scaled(16, 7);
         config.players_per_game = Some(8);
         (workload, cloud, config)
@@ -291,7 +292,9 @@ mod tests {
 
     #[test]
     fn groups_mix_origin_regions() {
-        let players: Vec<Player> = (0..16).map(|i| Player::new(i as u64, Some(i / 4))).collect();
+        let players: Vec<Player> = (0..16)
+            .map(|i| Player::new(i as u64, Some(i / 4)))
+            .collect();
         let groups = build_diverse_groups(&players, 4, 3);
         assert_eq!(groups.len(), 4);
         for group in &groups {

@@ -261,13 +261,14 @@ mod tests {
     fn bliss_hybrid_finds_a_fast_configuration() {
         let workload = Workload::scaled(Application::Redis, 10_000);
         let mut env = cloud(3);
-        let mut tuner = HybridDarwinGame::bliss(7).with_subspaces(8).with_explorations(4);
+        let mut tuner = HybridDarwinGame::bliss(7)
+            .with_subspaces(8)
+            .with_explorations(4);
         let outcome = tuner.tune(&workload, &mut env, TuningBudget::default());
         assert_eq!(outcome.tuner, "BLISS+DarwinGame");
         let surface = workload.application().surface_config();
         assert!(
-            workload.base_time(outcome.chosen)
-                < (surface.best_time + surface.worst_time) / 2.0
+            workload.base_time(outcome.chosen) < (surface.best_time + surface.worst_time) / 2.0
         );
         assert!(outcome.core_hours > 0.0);
         assert_eq!(outcome.history.len(), 4);
@@ -313,7 +314,10 @@ mod tests {
         // Subspace 4 is clearly the best so far; its neighbours should be explored next.
         let history = vec![(0, 500.0), (4, 250.0), (9, 480.0)];
         let next = harmony.next_subspace(&history, 10, &mut rng);
-        assert!(next == 3 || next == 5, "expected a neighbour of 4, got {next}");
+        assert!(
+            next == 3 || next == 5,
+            "expected a neighbour of 4, got {next}"
+        );
     }
 
     #[test]

@@ -63,9 +63,9 @@ pub fn run_playoffs(
     });
 
     let two_player_game = |cloud: &mut CloudEnvironment,
-                               a: &mut Player,
-                               b: &mut Player,
-                               games_played: &mut usize|
+                           a: &mut Player,
+                           b: &mut Player,
+                           games_played: &mut usize|
      -> (bool, f64) {
         let configs = [a.config(), b.config()];
         let result = play_game(cloud, workload, &configs, GameOptions::playoff());
@@ -161,8 +161,7 @@ mod tests {
 
     fn setup() -> (Workload, CloudEnvironment, TournamentConfig) {
         let workload = Workload::scaled(Application::Redis, 10_000);
-        let cloud =
-            CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 31);
+        let cloud = CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 31);
         (workload, cloud, TournamentConfig::scaled(16, 3))
     }
 
@@ -209,7 +208,10 @@ mod tests {
     #[test]
     fn two_players_go_straight_to_the_final() {
         let (workload, mut cloud, config) = setup();
-        let players = vec![player(0, &[(1.0, 1)]), player(workload.size() / 2, &[(0.9, 2)])];
+        let players = vec![
+            player(0, &[(1.0, 1)]),
+            player(workload.size() / 2, &[(0.9, 2)]),
+        ];
         let outcome = run_playoffs(&mut cloud, &workload, players, &config);
         assert_eq!(outcome.games_played, 1);
     }
@@ -254,7 +256,10 @@ mod tests {
     fn playoff_cost_is_committed_to_the_environment() {
         let (workload, mut cloud, config) = setup();
         let before = cloud.cost().core_hours();
-        let players = vec![player(0, &[(1.0, 1)]), player(workload.size() / 2, &[(0.9, 2)])];
+        let players = vec![
+            player(0, &[(1.0, 1)]),
+            player(workload.size() / 2, &[(0.9, 2)]),
+        ];
         let _ = run_playoffs(&mut cloud, &workload, players, &config);
         assert!(cloud.cost().core_hours() > before);
     }

@@ -57,8 +57,8 @@ pub fn run_region(
     };
 
     // Candidate pool: enough distinct configurations to feed every possible round.
-    let pool_size = players_per_game
-        + (players_per_game / 2) * config.max_regional_rounds.saturating_sub(1);
+    let pool_size =
+        players_per_game + (players_per_game / 2) * config.max_regional_rounds.saturating_sub(1);
     let candidates: Vec<ConfigId> = partition
         .sample_distinct(region, pool_size, &mut rng)
         .into_iter()
@@ -387,5 +387,16 @@ mod tests {
                 .collect()
         };
         assert_eq!(winners(&sequential), winners(&parallel));
+        // Threading must not change how much work each region did either: identical
+        // game counts and identical (bitwise) cost accounting, region by region.
+        for (s, p) in sequential.iter().zip(parallel.iter()) {
+            assert_eq!(s.region, p.region);
+            assert_eq!(s.games_played, p.games_played);
+            assert_eq!(s.core_hours.to_bits(), p.core_hours.to_bits());
+            assert_eq!(
+                s.wall_clock_seconds.to_bits(),
+                p.wall_clock_seconds.to_bits()
+            );
+        }
     }
 }

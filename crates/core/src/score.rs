@@ -189,7 +189,10 @@ mod tests {
         let execution = [1.0, 0.9, 0.5];
         let consistency = [0.3, 0.9, 0.4];
         let order = combined_ranking(&execution, &consistency, true, true);
-        assert_eq!(order[0], 1, "balanced player should win the combined ranking");
+        assert_eq!(
+            order[0], 1,
+            "balanced player should win the combined ranking"
+        );
         assert_eq!(order[2], 2);
     }
 

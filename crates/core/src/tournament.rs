@@ -89,7 +89,9 @@ impl DarwinGame {
             // global phase directly, with no score history.
             let mut rng = SimRng::new(config.seed).derive("no-regional");
             let players: Vec<Player> = (0..partition.parts())
-                .map(|region| Player::new(partition.sample(region, &mut rng) + offset, Some(region)))
+                .map(|region| {
+                    Player::new(partition.sample(region, &mut rng) + offset, Some(region))
+                })
                 .collect();
             (players, CostTracker::new(), 0)
         };
@@ -99,7 +101,9 @@ impl DarwinGame {
         let entrants = if entrants.is_empty() {
             let mut rng = SimRng::new(config.seed).derive("regional-fallback");
             (0..partition.parts())
-                .map(|region| Player::new(partition.sample(region, &mut rng) + offset, Some(region)))
+                .map(|region| {
+                    Player::new(partition.sample(region, &mut rng) + offset, Some(region))
+                })
                 .collect()
         } else {
             entrants
@@ -215,7 +219,9 @@ mod tests {
         let workload = Workload::scaled(Application::Ffmpeg, 8_000);
         let run = || {
             let mut cloud = cloud(9);
-            DarwinGame::new(small_config(12, 21)).run(&workload, &mut cloud).champion
+            DarwinGame::new(small_config(12, 21))
+                .run(&workload, &mut cloud)
+                .champion
         };
         assert_eq!(run(), run());
     }
@@ -226,8 +232,7 @@ mod tests {
         let config = workload.application().surface_config();
         for seed in 0..3u64 {
             let mut env = cloud(100 + seed);
-            let report =
-                DarwinGame::new(small_config(12, seed)).run(&workload, &mut env);
+            let report = DarwinGame::new(small_config(12, seed)).run(&workload, &mut env);
             let time = workload.base_time(report.champion);
             assert!(
                 time < (config.best_time + config.worst_time) / 2.0,
@@ -266,6 +271,51 @@ mod tests {
         let report = DarwinGame::new(small_config(10, 3)).run(&workload, &mut env);
         let phase_total: f64 = report.phases.iter().map(|p| p.core_hours).sum();
         assert!((phase_total - report.core_hours).abs() / report.core_hours < 0.05);
+    }
+
+    #[test]
+    fn report_totals_are_consistent_across_seeds_and_region_counts() {
+        let workload = Workload::scaled(Application::Redis, 12_000);
+        for seed in [1u64, 9, 42] {
+            for regions in [4usize, 10, 24] {
+                let mut env = cloud(100 + seed * 7 + regions as u64);
+                let report = DarwinGame::new(small_config(regions, seed)).run(&workload, &mut env);
+                let label = format!("seed {seed}, {regions} regions");
+
+                assert_eq!(
+                    report.phases.len(),
+                    3,
+                    "{label}: expected 3 phase summaries"
+                );
+                let phase_games: usize = report.phases.iter().map(|p| p.games).sum();
+                assert_eq!(
+                    phase_games, report.games_played,
+                    "{label}: phase games must sum to the report total"
+                );
+                let phase_hours: f64 = report.phases.iter().map(|p| p.core_hours).sum();
+                assert!(
+                    (phase_hours - report.core_hours).abs() <= 1e-9 * report.core_hours,
+                    "{label}: phase core-hours {phase_hours} vs total {}",
+                    report.core_hours
+                );
+                // Phase hand-offs line up: regional winners enter the global phase, the
+                // global phase's survivors enter the playoffs, one champion leaves.
+                assert_eq!(
+                    report.phases[0].players_out, report.regional_winners,
+                    "{label}"
+                );
+                assert_eq!(
+                    report.phases[1].players_in, report.regional_winners,
+                    "{label}"
+                );
+                assert_eq!(
+                    report.phases[1].players_out, report.phases[2].players_in,
+                    "{label}"
+                );
+                assert_eq!(report.phases[2].players_out, 1, "{label}");
+                assert!(report.core_hours > 0.0, "{label}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Property tests of the statistics primitives: the streaming and batch
+//! implementations must agree, quantiles must be monotone, and the coefficient of
+//! variation must not depend on the unit of measurement.
+
+use dg_stats::{coefficient_of_variation, mean, sample_variance, EmpiricalCdf, OnlineStats};
+use proptest::prelude::*;
+
+/// Absolute-plus-relative tolerance: `1e-9` scaled by the magnitude of the reference.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + b.abs())
+}
+
+proptest! {
+    /// Welford's online mean/variance agree with the two-pass batch versions.
+    #[test]
+    fn online_mean_and_variance_match_batch(
+        samples in prop::collection::vec(-1_000.0f64..1_000.0, 2..128),
+    ) {
+        let mut online = OnlineStats::new();
+        for sample in &samples {
+            online.push(*sample);
+        }
+        prop_assert!(
+            close(online.mean(), mean(&samples)),
+            "mean: online {} vs batch {}",
+            online.mean(),
+            mean(&samples)
+        );
+        prop_assert!(
+            close(online.variance(), sample_variance(&samples)),
+            "variance: online {} vs batch {}",
+            online.variance(),
+            sample_variance(&samples)
+        );
+        prop_assert!(close(online.std_dev(), sample_variance(&samples).sqrt()));
+    }
+
+    /// Merging two online accumulators equals accumulating the concatenation.
+    #[test]
+    fn online_merge_matches_concatenation(
+        left in prop::collection::vec(-500.0f64..500.0, 1..64),
+        right in prop::collection::vec(-500.0f64..500.0, 1..64),
+    ) {
+        let mut merged = OnlineStats::new();
+        for sample in &left {
+            merged.push(*sample);
+        }
+        let mut other = OnlineStats::new();
+        for sample in &right {
+            other.push(*sample);
+        }
+        merged.merge(&other);
+
+        let all: Vec<f64> = left.iter().chain(right.iter()).copied().collect();
+        prop_assert!(close(merged.mean(), mean(&all)));
+        prop_assert!(close(merged.variance(), sample_variance(&all)));
+        prop_assert_eq!(merged.count(), all.len() as u64);
+    }
+
+    /// Quantiles are monotone non-decreasing in `q` and hit min/max at the extremes.
+    #[test]
+    fn empirical_cdf_quantiles_are_monotone(
+        samples in prop::collection::vec(0.0f64..5_000.0, 1..200),
+    ) {
+        let cdf = EmpiricalCdf::from_samples(&samples);
+        prop_assert!(close(cdf.quantile(0.0), cdf.min()));
+        let mut previous = cdf.quantile(0.0);
+        for step in 1..=100 {
+            let value = cdf.quantile(step as f64 / 100.0);
+            prop_assert!(
+                value >= previous,
+                "quantile regressed at q={}: {} < {}",
+                step as f64 / 100.0,
+                value,
+                previous
+            );
+            previous = value;
+        }
+        prop_assert!(close(cdf.quantile(1.0), cdf.max()));
+    }
+
+    /// The coefficient of variation is invariant under a positive change of units.
+    #[test]
+    fn coefficient_of_variation_is_scale_invariant(
+        samples in prop::collection::vec(1.0f64..2_000.0, 2..100),
+        scale in 0.001f64..1_000.0,
+    ) {
+        let scaled: Vec<f64> = samples.iter().map(|s| s * scale).collect();
+        let original = coefficient_of_variation(&samples);
+        let rescaled = coefficient_of_variation(&scaled);
+        prop_assert!(
+            close(rescaled, original),
+            "CoV changed under scaling by {scale}: {original} vs {rescaled}"
+        );
+    }
+}

@@ -40,7 +40,10 @@ impl Bliss {
     ///
     /// Panics if `length_scales` is empty.
     pub fn with_length_scales(seed: u64, length_scales: Vec<f64>) -> Self {
-        assert!(!length_scales.is_empty(), "the model pool must not be empty");
+        assert!(
+            !length_scales.is_empty(),
+            "the model pool must not be empty"
+        );
         Self {
             seed,
             length_scales,
@@ -154,8 +157,7 @@ impl Tuner for Bliss {
                 }
             }
 
-            let (chosen_candidate, _) =
-                best_candidate.expect("candidate pool is never empty");
+            let (chosen_candidate, _) = best_candidate.expect("candidate pool is never empty");
             let vector = config_to_vector(workload, chosen_candidate);
             let (predicted, _) = models[model_index].gp.predict(&vector);
             let observed = evaluator.evaluate(chosen_candidate);
@@ -207,8 +209,7 @@ mod tests {
                 100 + seed,
             );
             let bliss = Bliss::new(seed).tune(&workload, &mut cloud_a, budget);
-            let random =
-                crate::RandomSearch::new(seed).tune(&workload, &mut cloud_b, budget);
+            let random = crate::RandomSearch::new(seed).tune(&workload, &mut cloud_b, budget);
             bliss_total += workload.base_time(bliss.chosen);
             random_total += workload.base_time(random.chosen);
         }

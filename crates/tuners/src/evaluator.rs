@@ -18,7 +18,10 @@ impl TuningBudget {
     ///
     /// Panics if `max_evaluations == 0`.
     pub fn evaluations(max_evaluations: usize) -> Self {
-        assert!(max_evaluations > 0, "budget must allow at least one evaluation");
+        assert!(
+            max_evaluations > 0,
+            "budget must allow at least one evaluation"
+        );
         Self { max_evaluations }
     }
 }
@@ -79,7 +82,9 @@ impl<'a> CloudEvaluator<'a> {
 
     /// Remaining evaluations in the budget.
     pub fn remaining(&self) -> usize {
-        self.budget.max_evaluations.saturating_sub(self.history.len())
+        self.budget
+            .max_evaluations
+            .saturating_sub(self.history.len())
     }
 
     /// True once the budget is exhausted.
@@ -114,10 +119,11 @@ impl<'a> CloudEvaluator<'a> {
 
     /// The best sample taken so far, if any.
     pub fn best(&self) -> Option<SampleRecord> {
-        self.history
-            .iter()
-            .copied()
-            .min_by(|a, b| a.observed_time.partial_cmp(&b.observed_time).expect("no NaN"))
+        self.history.iter().copied().min_by(|a, b| {
+            a.observed_time
+                .partial_cmp(&b.observed_time)
+                .expect("no NaN")
+        })
     }
 
     /// The recorded history so far.
@@ -214,7 +220,10 @@ mod tests {
             .map(|s| s.observed_time)
             .collect();
         let outcome = evaluator.finish("test", 10);
-        assert_eq!(outcome.believed_time, history.iter().copied().fold(f64::INFINITY, f64::min));
+        assert_eq!(
+            outcome.believed_time,
+            history.iter().copied().fold(f64::INFINITY, f64::min)
+        );
     }
 
     #[test]

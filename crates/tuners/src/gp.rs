@@ -62,13 +62,22 @@ impl GaussianProcess {
     /// # Panics
     ///
     /// Panics if the inputs and targets differ in length or are empty.
+    // Index-based loops keep the triangular Cholesky recurrences in textbook form.
+    #[allow(clippy::needless_range_loop)]
     pub fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) {
-        assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "inputs/targets length mismatch"
+        );
         assert!(!inputs.is_empty(), "cannot fit a GP to zero observations");
         let n = inputs.len();
         self.y_mean = dg_stats::mean(targets);
         self.y_std = dg_stats::std_dev(targets).max(1e-9);
-        let standardized: Vec<f64> = targets.iter().map(|y| (y - self.y_mean) / self.y_std).collect();
+        let standardized: Vec<f64> = targets
+            .iter()
+            .map(|y| (y - self.y_mean) / self.y_std)
+            .collect();
 
         // Build K + noise * I.
         let mut matrix = vec![vec![0.0; n]; n];
@@ -125,11 +134,17 @@ impl GaussianProcess {
     /// # Panics
     ///
     /// Panics if the GP has not been fit.
+    // Index-based loops keep the triangular solves in textbook form.
+    #[allow(clippy::needless_range_loop)]
     pub fn predict(&self, point: &[f64]) -> (f64, f64) {
         assert!(self.is_fit(), "predict called before fit");
         let n = self.inputs.len();
         let k_star: Vec<f64> = self.inputs.iter().map(|x| self.kernel(x, point)).collect();
-        let mean_standardized: f64 = k_star.iter().zip(self.alpha.iter()).map(|(k, a)| k * a).sum();
+        let mean_standardized: f64 = k_star
+            .iter()
+            .zip(self.alpha.iter())
+            .map(|(k, a)| k * a)
+            .sum();
 
         // v = L^-1 k_star; predictive variance = k(x,x) - v^T v.
         let mut v = vec![0.0; n];

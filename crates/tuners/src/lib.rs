@@ -54,7 +54,7 @@ pub use outcome::{SampleRecord, TuningOutcome};
 pub use random::RandomSearch;
 pub use simplex::nelder_mead;
 pub use techniques::{
-    EvolutionTechnique, HillClimbTechnique, PatternSearchTechnique, RandomTechnique,
-    SearchContext, Technique,
+    EvolutionTechnique, HillClimbTechnique, PatternSearchTechnique, RandomTechnique, SearchContext,
+    Technique,
 };
 pub use tuner::Tuner;

@@ -3,8 +3,8 @@
 use crate::evaluator::{CloudEvaluator, TuningBudget};
 use crate::outcome::TuningOutcome;
 use crate::techniques::{
-    EvolutionTechnique, HillClimbTechnique, PatternSearchTechnique, RandomTechnique,
-    SearchContext, Technique,
+    EvolutionTechnique, HillClimbTechnique, PatternSearchTechnique, RandomTechnique, SearchContext,
+    Technique,
 };
 use crate::tuner::Tuner;
 use dg_cloudsim::{CloudEnvironment, SimRng};
@@ -124,7 +124,9 @@ impl Tuner for OpenTuner {
                 })
                 .expect("there is at least one arm");
             let previous_best = context.best.map(|(_, t)| t).unwrap_or(f64::INFINITY);
-            let proposal = arms[chosen_arm].technique.propose(workload, &context, &mut rng);
+            let proposal = arms[chosen_arm]
+                .technique
+                .propose(workload, &context, &mut rng);
             let observed = evaluator.evaluate(proposal);
             context.record(proposal, observed);
             let improved = observed < previous_best;
@@ -149,8 +151,7 @@ mod tests {
         let workload = Workload::scaled(Application::Redis, 10_000);
         let mut cloud =
             CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 17);
-        let outcome =
-            OpenTuner::new(4).tune(&workload, &mut cloud, TuningBudget::evaluations(80));
+        let outcome = OpenTuner::new(4).tune(&workload, &mut cloud, TuningBudget::evaluations(80));
         assert_eq!(outcome.samples, 80);
         assert_eq!(outcome.chosen, outcome.best_observed().unwrap().config);
     }
@@ -160,8 +161,7 @@ mod tests {
         let workload = Workload::scaled(Application::Ffmpeg, 10_000);
         let mut cloud =
             CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 23);
-        let outcome =
-            OpenTuner::new(5).tune(&workload, &mut cloud, TuningBudget::evaluations(120));
+        let outcome = OpenTuner::new(5).tune(&workload, &mut cloud, TuningBudget::evaluations(120));
         let config = workload.application().surface_config();
         let midpoint = (config.best_time + config.worst_time) / 2.0;
         assert!(workload.base_time(outcome.chosen) < midpoint);

@@ -69,7 +69,11 @@ mod tests {
     fn oracle_beats_random_configurations() {
         let workload = Workload::scaled(Application::Redis, 10_000);
         let oracle = OracleTuner::new();
-        let outcome = oracle.tune(&workload, VmType::M5_8xlarge, TuningBudget::evaluations(100));
+        let outcome = oracle.tune(
+            &workload,
+            VmType::M5_8xlarge,
+            TuningBudget::evaluations(100),
+        );
         let optimal_base = workload.base_time(outcome.chosen);
         // Every configuration in a random sample must be at least as slow.
         let mut rng = dg_cloudsim::SimRng::new(5);

@@ -35,10 +35,11 @@ pub struct TuningOutcome {
 impl TuningOutcome {
     /// The best (lowest) observed time among all samples taken, if any.
     pub fn best_observed(&self) -> Option<SampleRecord> {
-        self.history
-            .iter()
-            .copied()
-            .min_by(|a, b| a.observed_time.partial_cmp(&b.observed_time).expect("no NaN"))
+        self.history.iter().copied().min_by(|a, b| {
+            a.observed_time
+                .partial_cmp(&b.observed_time)
+                .expect("no NaN")
+        })
     }
 
     /// Number of *distinct* configurations evaluated.

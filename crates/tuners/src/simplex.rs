@@ -29,7 +29,7 @@ where
     F: FnMut(&[f64]) -> f64,
 {
     assert!(
-        initial.len() >= dims + 1,
+        initial.len() > dims,
         "Nelder–Mead needs at least dims + 1 starting vertices"
     );
     assert!(

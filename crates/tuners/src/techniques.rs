@@ -38,8 +38,12 @@ pub trait Technique {
     fn name(&self) -> &'static str;
 
     /// Proposes the next configuration to evaluate.
-    fn propose(&mut self, workload: &Workload, context: &SearchContext, rng: &mut SimRng)
-        -> ConfigId;
+    fn propose(
+        &mut self,
+        workload: &Workload,
+        context: &SearchContext,
+        rng: &mut SimRng,
+    ) -> ConfigId;
 }
 
 /// Uniform random sampling.
@@ -128,7 +132,11 @@ impl Technique for PatternSearchTechnique {
                 continue;
             }
             let level = point[dim] as isize;
-            let stepped = if self.direction_up { level + 1 } else { level - 1 };
+            let stepped = if self.direction_up {
+                level + 1
+            } else {
+                level - 1
+            };
             self.direction_up = !self.direction_up;
             point[dim] = stepped.clamp(0, levels as isize - 1) as usize;
             return space.index_of(&point);
@@ -241,7 +249,10 @@ mod tests {
             .zip(proposed.iter())
             .filter(|(a, b)| a != b)
             .count();
-        assert!(differing <= 1, "hill climb should change at most one dimension");
+        assert!(
+            differing <= 1,
+            "hill climb should change at most one dimension"
+        );
     }
 
     #[test]

@@ -23,7 +23,6 @@ impl Parameter {
     ///
     /// Panics if `levels` is empty.
     pub fn new(name: impl Into<String>, levels: Vec<String>) -> Self {
-        let levels = levels;
         assert!(!levels.is_empty(), "a parameter needs at least one level");
         Self {
             name: name.into(),
@@ -91,7 +90,10 @@ impl ParameterSpace {
     ///
     /// Panics if `parameters` is empty or if the total size overflows `u64`.
     pub fn new(parameters: Vec<Parameter>) -> Self {
-        assert!(!parameters.is_empty(), "a space needs at least one parameter");
+        assert!(
+            !parameters.is_empty(),
+            "a space needs at least one parameter"
+        );
         let mut size: u128 = 1;
         for p in &parameters {
             size *= p.level_count() as u128;
@@ -293,7 +295,7 @@ mod tests {
         let space = ParameterSpace::with_target_size(&names, &[4, 3, 3, 2], 1_000_000);
         let size = space.size();
         assert!(
-            size >= 250_000 && size <= 1_000_000,
+            (250_000..=1_000_000).contains(&size),
             "size {size} too far from target"
         );
         assert_eq!(space.dimensions(), 20);

@@ -192,8 +192,8 @@ impl SyntheticSurface {
                 let a = free_dims[rng.index(free_dims.len())];
                 let mut b = free_dims[rng.index(free_dims.len())];
                 if a == b {
-                    b = free_dims[(free_dims.iter().position(|d| *d == a).unwrap() + 1)
-                        % free_dims.len()];
+                    b = free_dims
+                        [(free_dims.iter().position(|d| *d == a).unwrap() + 1) % free_dims.len()];
                 }
                 if a != b {
                     interactions.push((a, b, rng.uniform_range(0.5, 1.0)));
@@ -281,12 +281,17 @@ impl SyntheticSurface {
             .clamp(0.0, 1.0)
     }
 
-    /// Empirical CDF value of a raw penalty, in `[0, 1]`.
+    /// Empirical CDF value of a raw penalty, in `[0, 1]`: the fraction of sampled
+    /// penalties *strictly below* `raw`. The strict inequality matters at the bottom
+    /// end: the planted optimum (raw penalty 0) must map to 0 — and therefore to
+    /// exactly `best_time` — even when the quantile sample happens to contain
+    /// zero-penalty configurations, otherwise the shaping exponent amplifies the tie
+    /// fraction into a spurious premium on the optimum.
     fn cdf(&self, raw: f64) -> f64 {
         if self.raw_quantiles.is_empty() {
             return raw;
         }
-        let position = self.raw_quantiles.partition_point(|q| *q <= raw);
+        let position = self.raw_quantiles.partition_point(|q| *q < raw);
         position as f64 / self.raw_quantiles.len() as f64
     }
 
@@ -334,8 +339,7 @@ impl PerformanceSurface for SyntheticSurface {
         let base = self.config.max_sensitivity
             - (self.config.max_sensitivity - self.config.min_sensitivity) * normalized;
         // Multiplicative noise decorrelates sensitivity from pure speed.
-        let noise =
-            0.7 + 0.6 * dg_cloudsim::hash_unit(dg_cloudsim::mix(self.seed, 0x5e75), id);
+        let noise = 0.7 + 0.6 * dg_cloudsim::hash_unit(dg_cloudsim::mix(self.seed, 0x5e75), id);
         let mut sensitivity = base * noise;
         // A small fraction of configurations are intrinsically robust; the fast part of
         // the range is given a higher robust probability (the Fig. 2 "blue" population),
@@ -477,7 +481,10 @@ mod tests {
         }
         let fraction = robust_fast as f64 / samples as f64;
         assert!(fraction > 0.0, "sweet-spot configurations must exist");
-        assert!(fraction < 0.05, "sweet-spot configurations must be rare, got {fraction}");
+        assert!(
+            fraction < 0.05,
+            "sweet-spot configurations must be rare, got {fraction}"
+        );
     }
 
     #[test]

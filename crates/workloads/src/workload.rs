@@ -46,11 +46,21 @@ impl Workload {
 
     /// Creates a workload with explicit surface knobs and seed (used by calibration
     /// tests and ablation studies).
-    pub fn custom(app: Application, space: ParameterSpace, config: SurfaceConfig, seed: u64) -> Self {
+    pub fn custom(
+        app: Application,
+        space: ParameterSpace,
+        config: SurfaceConfig,
+        seed: u64,
+    ) -> Self {
         Self::from_parts(app, space, config, seed)
     }
 
-    fn from_parts(app: Application, space: ParameterSpace, config: SurfaceConfig, seed: u64) -> Self {
+    fn from_parts(
+        app: Application,
+        space: ParameterSpace,
+        config: SurfaceConfig,
+        seed: u64,
+    ) -> Self {
         let surface = SyntheticSurface::generate(space, config, seed);
         Self {
             app,

@@ -13,11 +13,7 @@
 use darwingame::prelude::*;
 use darwingame::stats::{Column, Table};
 
-fn run_with(
-    workload: &Workload,
-    ablation: AblationConfig,
-    seed: u64,
-) -> (f64, f64, f64) {
+fn run_with(workload: &Workload, ablation: AblationConfig, seed: u64) -> (f64, f64, f64) {
     let mut cloud = CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 77);
     let mut config = TournamentConfig::scaled(48, seed);
     config.players_per_game = Some(16);
@@ -36,16 +32,76 @@ fn main() {
     let full = AblationConfig::full();
     let ablations: Vec<(&str, AblationConfig)> = vec![
         ("full DarwinGame", full),
-        ("w/o regional", AblationConfig { regional_phase: false, ..full }),
-        ("one-win regional", AblationConfig { single_regional_winner: true, ..full }),
-        ("w/o Swiss", AblationConfig { swiss_regional: false, ..full }),
-        ("w/o global", AblationConfig { global_phase: false, ..full }),
-        ("w/o double elimination", AblationConfig { double_elimination: false, ..full }),
-        ("w/o barrage", AblationConfig { barrage_playoffs: false, ..full }),
-        ("w/o consistency score", AblationConfig { consistency_score: false, ..full }),
-        ("w/o execution score", AblationConfig { execution_score: false, ..full }),
-        ("all 2-player games", AblationConfig { multiplayer_games: false, ..full }),
-        ("w/o early termination", AblationConfig { early_termination: false, ..full }),
+        (
+            "w/o regional",
+            AblationConfig {
+                regional_phase: false,
+                ..full
+            },
+        ),
+        (
+            "one-win regional",
+            AblationConfig {
+                single_regional_winner: true,
+                ..full
+            },
+        ),
+        (
+            "w/o Swiss",
+            AblationConfig {
+                swiss_regional: false,
+                ..full
+            },
+        ),
+        (
+            "w/o global",
+            AblationConfig {
+                global_phase: false,
+                ..full
+            },
+        ),
+        (
+            "w/o double elimination",
+            AblationConfig {
+                double_elimination: false,
+                ..full
+            },
+        ),
+        (
+            "w/o barrage",
+            AblationConfig {
+                barrage_playoffs: false,
+                ..full
+            },
+        ),
+        (
+            "w/o consistency score",
+            AblationConfig {
+                consistency_score: false,
+                ..full
+            },
+        ),
+        (
+            "w/o execution score",
+            AblationConfig {
+                execution_score: false,
+                ..full
+            },
+        ),
+        (
+            "all 2-player games",
+            AblationConfig {
+                multiplayer_games: false,
+                ..full
+            },
+        ),
+        (
+            "w/o early termination",
+            AblationConfig {
+                early_termination: false,
+                ..full
+            },
+        ),
     ];
 
     let mut table = Table::new(vec![

@@ -73,7 +73,10 @@ fn main() {
         format!("{:.1}", report.core_hours),
     ]);
 
-    println!("Tuning {} in a noisy m5.8xlarge cloud\n", workload.application());
+    println!(
+        "Tuning {} in a noisy m5.8xlarge cloud\n",
+        workload.application()
+    );
     println!("{}", table.render());
     println!("(lower is better everywhere; 'Optimal' is the dedicated-environment bound)");
 }

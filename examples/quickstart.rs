@@ -34,9 +34,15 @@ fn main() {
     println!("\n=== DarwinGame result ===");
     println!("champion configuration : #{}", report.champion);
     println!("  {}", workload.space().describe(report.champion));
-    println!("observed time (final)  : {:.1} s", report.champion_observed_time);
+    println!(
+        "observed time (final)  : {:.1} s",
+        report.champion_observed_time
+    );
     println!("games played           : {}", report.games_played);
-    println!("tuning cost            : {:.1} core-hours", report.core_hours);
+    println!(
+        "tuning cost            : {:.1} core-hours",
+        report.core_hours
+    );
     for phase in &report.phases {
         println!(
             "  phase {:<14} {:>4} games  {:>8.1} core-hours",

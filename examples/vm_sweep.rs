@@ -32,7 +32,7 @@ fn main() {
         let mut cloud = CloudEnvironment::new(vm, InterferenceProfile::typical(), 50 + i as u64);
         let mut config = TournamentConfig::scaled(32, 7 + i as u64);
         // P follows the VM's core count, but stays small enough for tiny VMs.
-        config.players_per_game = Some(vm.vcpus().min(16).max(2));
+        config.players_per_game = Some(vm.vcpus().clamp(2, 16));
         let report = DarwinGame::new(config).run(&workload, &mut cloud);
 
         let runs = cloud.observe_repeated(workload.spec(report.champion), 40, 1800.0);

@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`, covering the subset the `dg-bench` micro
+//! benchmarks use: `criterion_group!`/`criterion_main!`, `Criterion::sample_size`,
+//! `Criterion::bench_function`, `Bencher::iter`, `Bencher::iter_batched`, and
+//! `BatchSize`.
+//!
+//! The measurement protocol is deliberately simple: each benchmark runs a short
+//! warm-up, then `sample_size` timed samples whose iteration count is chosen so a
+//! sample takes roughly 10 ms, and the mean / median / minimum per-iteration times
+//! are printed. There is no statistical outlier analysis, HTML report, or saved
+//! baseline — this harness exists so `cargo bench` runs offline and regressions are
+//! visible from the printed numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped per timing sample; accepted for compatibility.
+///
+/// The shim times one routine invocation per sample regardless of the variant, so
+/// the distinction only matters for how often `setup` runs (always once per
+/// invocation here, matching `BatchSize::PerIteration` semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: the real criterion batches many per allocation.
+    SmallInput,
+    /// Large inputs: the real criterion batches few per allocation.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to `bench_function` closures.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    samples: Vec<Duration>,
+}
+
+impl<'a> Bencher<'a> {
+    /// Times `routine`, called repeatedly, reporting per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that takes ~10 ms.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Benchmark registry / configuration; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        assert!(samples >= 2, "sample_size must be at least 2");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs one named benchmark and prints its per-iteration timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: self,
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut bencher);
+        let mut sorted = bencher.samples.clone();
+        sorted.sort();
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len().max(1) as u32;
+        let median = sorted[sorted.len() / 2];
+        let min = sorted.first().copied().unwrap_or_default();
+        println!(
+            "{id:<40} mean {:>12} | median {:>12} | min {:>12} | samples {}",
+            format_duration(mean),
+            format_duration(median),
+            format_duration(min),
+            sorted.len()
+        );
+        self
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group; supports both the positional and the
+/// `name = ...; config = ...; targets = ...` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Expands to a `main` that runs every listed group (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_requested_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("shim_smoke", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut setups = 0;
+        c.bench_function("batched_smoke", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+}

@@ -1,0 +1,93 @@
+//! Offline stand-in for the `crossbeam` crate, covering exactly the API this
+//! workspace uses: `crossbeam::thread::scope` with `Scope::spawn` and
+//! `ScopedJoinHandle::join`.
+//!
+//! Implemented on top of `std::thread::scope` (stable since Rust 1.63), which did not
+//! exist when crossbeam's scoped threads were introduced. Semantics match for the
+//! supported surface, with one deliberate difference: the real crossbeam returns
+//! `Err` from `scope` when an unjoined child panicked, while this shim — like std —
+//! propagates such panics. All call sites in this workspace join every handle, so
+//! the difference is unobservable here.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention.
+
+    /// A scope handle; mirrors `crossbeam::thread::Scope`.
+    ///
+    /// Spawn closures receive `&Scope` so they can spawn further scoped threads,
+    /// exactly like crossbeam.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Owned handle to a scoped thread; mirrors `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning `Err` with the panic payload if
+        /// the thread panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a copy of the scope handle
+        /// (crossbeam's signature), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning scoped threads, returning the closure's result.
+    ///
+    /// Always returns `Ok`: unlike crossbeam, a panic in an unjoined child propagates
+    /// out of `scope` (std semantics) instead of surfacing as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_joins_and_returns() {
+            let data = [1, 2, 3, 4];
+            let total = super::scope(|scope| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<i32>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_argument() {
+            let result = super::scope(|scope| {
+                scope
+                    .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(result, 42);
+        }
+    }
+}

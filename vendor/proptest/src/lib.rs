@@ -1,0 +1,284 @@
+//! Offline stand-in for `proptest`, covering the subset this workspace uses:
+//!
+//! * the [`proptest!`] macro with `arg in strategy` bindings,
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * numeric `Range` strategies (`0.0f64..1.0`, `1usize..64`, `0u64..1_000`, ...),
+//! * `prop::collection::vec(strategy, size)` with either a fixed size or a size range.
+//!
+//! Unlike the real proptest there is **no shrinking** and the case stream is fully
+//! deterministic: each test derives its RNG from the test's module path and name plus
+//! the case index, so failures reproduce exactly across runs and machines. That
+//! determinism is a feature here — the tier-1 suite must pass identically on every
+//! run.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Produces values of `Value` from a deterministic RNG.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty f32 range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64() as f32
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.below(span)) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    /// Always yields a clone of one fixed value (`proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A count of elements for collection strategies: fixed or drawn from a range.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Fixed(usize),
+        /// Uniformly drawn from `[start, end)`.
+        Span(Range<usize>),
+    }
+
+    impl SizeRange {
+        pub(crate) fn sample(&self, rng: &mut TestRng) -> usize {
+            match self {
+                SizeRange::Fixed(n) => *n,
+                SizeRange::Span(range) => {
+                    assert!(range.start < range.end, "empty collection size range");
+                    range.start + rng.below((range.end - range.start) as u64) as usize
+                }
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Fixed(n)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            SizeRange::Span(range)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub(crate) fn vec_strategy<S: Strategy>(
+        element: S,
+        size: impl Into<SizeRange>,
+    ) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// `Vec` strategy with a fixed size (`vec(s, 6)`) or size range (`vec(s, 1..10)`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        super::strategy::vec_strategy(element, size)
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic RNG driving every strategy.
+
+    /// SplitMix64-based generator seeded from a test identifier and case index.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for one test case; the same `(test_id, case)` pair always
+        /// produces the same value stream.
+        pub fn deterministic(test_id: &str, case: u64) -> Self {
+            // FNV-1a over the identifier, mixed with the case index.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in test_id.as_bytes() {
+                hash ^= u64::from(*byte);
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self {
+                state: hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next raw 64-bit value (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform integer in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below requires a non-zero bound");
+            // Multiply-shift bounded sampling; bias is < 2^-64 per draw.
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Number of cases each `proptest!` test runs (the real default is 256; this shim
+/// trades a few cases for suite speed while staying deterministic).
+pub const DEFAULT_CASES: u64 = 64;
+
+/// Declares deterministic property tests with `arg in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::DEFAULT_CASES {
+                    let mut proptest_rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut proptest_rng);
+                    )*
+                    // Borrow-check friendliness: arguments may go unused in edge cases.
+                    let _ = &proptest_rng;
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking, so it simply panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respect_spec(fixed in prop::collection::vec(0u32..5, 4),
+                                  ranged in prop::collection::vec(0.0f64..1.0, 1..9)) {
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert!((1..9).contains(&ranged.len()));
+            prop_assert!(ranged.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("t", 3);
+        let mut b = crate::test_runner::TestRng::deterministic("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::deterministic("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`: the `Serialize`/`Deserialize` trait names plus
+//! re-exported no-op derive macros, so `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile exactly as they would against the
+//! real crate. See `vendor/README.md` for the substitution policy.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; nothing serializes yet).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods; nothing deserializes yet).
+pub trait Deserialize<'de> {}

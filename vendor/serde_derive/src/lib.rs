@@ -1,0 +1,20 @@
+//! No-op stand-ins for serde's `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace builds offline, so the real `serde_derive` (and its `syn`/`quote`
+//! dependency tree) is unavailable. Nothing in the repository serializes data yet —
+//! the derives exist so that types can already be annotated for the day persistence
+//! lands — so expanding to an empty token stream is sufficient.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing; accepts any item so `#[derive(Serialize)]` compiles.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing; accepts any item so `#[derive(Deserialize)]` compiles.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
