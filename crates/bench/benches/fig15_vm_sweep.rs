@@ -1,23 +1,67 @@
 //! Figure 15 — DarwinGame's effectiveness across VM classes and sizes.
 //!
 //! The Redis workload is tuned with DarwinGame on every VM type of the paper's sweep
-//! (m5.large … m5.24xlarge, c5.9xlarge, r5.8xlarge, i3.8xlarge). DarwinGame's chosen
-//! configuration stays within roughly 10 % of the Oracle everywhere, with a small
-//! coefficient of variation — its benefits are not tied to one instance type.
+//! (m5.large … m5.24xlarge, c5.9xlarge, r5.8xlarge, i3.8xlarge), two seeds per VM — a
+//! 16-cell campaign. The sweep runs twice: once on a single worker (the serial loop this
+//! bench used to hand-roll) and once on all cores, demonstrating both the parallel
+//! speed-up and that the two reports are byte-identical.
 //!
 //! Run with `cargo bench --bench fig15_vm_sweep`.
 
-use dg_bench::{oracle_reference, run_darwin_on_vm, standard_workload, ExperimentScale};
+use dg_campaign::{default_workers, Campaign, CampaignSpec, ExperimentScale};
 use dg_cloudsim::VmType;
 use dg_stats::{Column, Table};
-use dg_workloads::Application;
+use dg_tuners::OracleTuner;
+use dg_workloads::{Application, Workload};
+use std::time::Instant;
+
+fn sweep_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::single("fig15-vm-sweep", "DarwinGame", 2);
+    spec.vm_types = VmType::ALL.to_vec();
+    spec.scale = ExperimentScale {
+        space_size: 60_000,
+        regions: 96,
+        ..ExperimentScale::default_scale()
+    };
+    spec.base_seed = 80;
+    spec
+}
 
 fn main() {
-    let scale = ExperimentScale::default_scale();
-    let app = Application::Redis;
-    let workload = standard_workload(app, &scale);
+    let spec = sweep_spec();
+    let workload = Workload::scaled(Application::Redis, spec.scale.space_size);
+    let campaign = Campaign::new(spec);
+    let workers = default_workers();
 
     println!("=== Figure 15: DarwinGame vs Oracle across VM types (Redis) ===\n");
+    println!(
+        "campaign grid: {} cells (8 VM types x 2 seeds)",
+        campaign.spec().grid_size()
+    );
+
+    let serial_start = Instant::now();
+    let serial_report = campaign.run_with_workers(1);
+    let serial_elapsed = serial_start.elapsed();
+
+    let parallel_start = Instant::now();
+    let parallel_report = campaign.run_with_workers(workers);
+    let parallel_elapsed = parallel_start.elapsed();
+
+    assert_eq!(
+        serial_report.to_json(),
+        parallel_report.to_json(),
+        "1-worker and {workers}-worker campaigns must be byte-identical"
+    );
+    println!(
+        "serial (1 worker):     {:>8.2} s",
+        serial_elapsed.as_secs_f64()
+    );
+    println!(
+        "parallel ({workers:>2} workers): {:>8.2} s  ({:.2}x speed-up, byte-identical report)\n",
+        parallel_elapsed.as_secs_f64(),
+        serial_elapsed.as_secs_f64() / parallel_elapsed.as_secs_f64().max(1e-9)
+    );
+
     let mut table = Table::new(vec![
         Column::left("VM type"),
         Column::right("vCPUs"),
@@ -26,18 +70,15 @@ fn main() {
         Column::right("gap (%)"),
         Column::right("CoV (%)"),
     ]);
-
-    for (i, vm) in VmType::ALL.iter().enumerate() {
-        let vm = *vm;
-        let oracle = oracle_reference(&workload, vm);
-        let choice = run_darwin_on_vm(app, &scale, 80 + i as u64, 800 + i as u64, vm);
+    for (group, vm) in parallel_report.groups.iter().zip(VmType::ALL.iter()) {
+        let oracle = OracleTuner::new().optimal_time(&workload, *vm);
         table.push_row(vec![
-            vm.name().into(),
+            group.vm.clone(),
             format!("{}", vm.vcpus()),
             format!("{oracle:.1}"),
-            format!("{:.1}", choice.mean_time),
-            format!("{:.1}", dg_stats::percent_change(choice.mean_time, oracle)),
-            format!("{:.2}", choice.cov_percent),
+            format!("{:.1}", group.mean_time),
+            format!("{:.1}", dg_stats::percent_change(group.mean_time, oracle)),
+            format!("{:.2}", group.mean_cov_percent),
         ]);
     }
     println!("{}", table.render());

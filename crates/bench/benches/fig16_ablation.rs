@@ -6,99 +6,53 @@
 //! and the resulting execution time, variability, and tuning cost are reported as a
 //! percentage increase over the full DarwinGame design.
 //!
+//! Every `(variant, application)` pair is one campaign cell; the whole sweep (11
+//! variants × 4 applications) runs through the parallel campaign executor. The variant
+//! list is `AblationConfig::paper_variants()`, shared with `examples/ablation_study.rs`.
+//!
 //! Run with `cargo bench --bench fig16_ablation`.
 
 use darwin_core::AblationConfig;
-use dg_bench::{run_darwin_with_ablation, ExperimentScale};
+use dg_campaign::{register_darwin_variant, Campaign, CampaignSpec, CellResult, ExperimentScale};
 use dg_stats::{Column, Table};
+use dg_tuners::TunerRegistry;
 use dg_workloads::Application;
 
-/// The ablations of Fig. 16, in the paper's order.
-fn ablations() -> Vec<(&'static str, AblationConfig)> {
-    let full = AblationConfig::full();
-    vec![
-        (
-            "w/o regional",
-            AblationConfig {
-                regional_phase: false,
-                ..full
-            },
-        ),
-        (
-            "one-win regional",
-            AblationConfig {
-                single_regional_winner: true,
-                ..full
-            },
-        ),
-        (
-            "w/o Swiss",
-            AblationConfig {
-                swiss_regional: false,
-                ..full
-            },
-        ),
-        (
-            "w/o global",
-            AblationConfig {
-                global_phase: false,
-                ..full
-            },
-        ),
-        (
-            "w/o double eli.",
-            AblationConfig {
-                double_elimination: false,
-                ..full
-            },
-        ),
-        (
-            "w/o barrage",
-            AblationConfig {
-                barrage_playoffs: false,
-                ..full
-            },
-        ),
-        (
-            "w/o consistency score",
-            AblationConfig {
-                consistency_score: false,
-                ..full
-            },
-        ),
-        (
-            "w/o exe. score",
-            AblationConfig {
-                execution_score: false,
-                ..full
-            },
-        ),
-        (
-            "all 2-player games",
-            AblationConfig {
-                multiplayer_games: false,
-                ..full
-            },
-        ),
-        (
-            "w/o early termination",
-            AblationConfig {
-                early_termination: false,
-                ..full
-            },
-        ),
-    ]
+fn find<'a>(report: &'a [CellResult], tuner: &str, app: &str) -> &'a CellResult {
+    report
+        .iter()
+        .find(|c| c.tuner == tuner && c.application == app)
+        .expect("every (variant, application) cell completed")
 }
 
 fn main() {
+    let variants = AblationConfig::paper_variants();
+
     // The ablation sweep multiplies the tournament count by 11, so it uses a slightly
     // smaller per-tournament scale than the other figures.
-    let mut scale = ExperimentScale::default_scale();
-    scale.regions = 128;
-    scale.space_size = 80_000;
+    let scale = ExperimentScale {
+        space_size: 80_000,
+        regions: 128,
+        ..ExperimentScale::default_scale()
+    };
+
+    let mut spec = CampaignSpec::single("fig16-ablation", "full DarwinGame", 1);
+    spec.scale = scale;
+    spec.applications = Application::ALL.to_vec();
+    spec.base_seed = 505;
+    // Paired comparison: each variant sees exactly the noise the full design saw, so
+    // the (+%) columns measure the ablation, not a different noise realisation.
+    spec.paired_tuners = true;
+    spec.tuners = variants.iter().map(|(name, _)| (*name).into()).collect();
+    let mut registry = TunerRegistry::new();
+    for (name, ablation) in &variants {
+        register_darwin_variant(&mut registry, *name, &scale, *ablation);
+    }
 
     println!("=== Figure 16: ablation of DarwinGame's tournament structure ===");
     println!("(percent increase over the full design; positive = worse)\n");
+
+    let report = Campaign::with_registry(spec, registry).run();
 
     let mut table = Table::new(vec![
         Column::left("application"),
@@ -107,14 +61,13 @@ fn main() {
         Column::right("CoV (+pp)"),
         Column::right("core-hours (+%)"),
     ]);
-
     for app in Application::ALL {
-        let full = run_darwin_with_ablation(app, &scale, 5, 505, AblationConfig::full());
-        for (name, ablation) in ablations() {
-            let ablated = run_darwin_with_ablation(app, &scale, 5, 505, ablation);
+        let full = find(&report.cells, "full DarwinGame", app.name());
+        for (name, _) in variants.iter().skip(1) {
+            let ablated = find(&report.cells, name, app.name());
             table.push_row(vec![
                 app.name().into(),
-                name.into(),
+                (*name).into(),
                 format!(
                     "{:.1}",
                     dg_stats::percent_change(ablated.mean_time, full.mean_time)

@@ -1,7 +1,7 @@
 //! The experiment harness shared by every figure/table benchmark.
 
-use crate::scale::ExperimentScale;
 use darwin_core::{DarwinGame, HybridDarwinGame, TournamentConfig};
+use dg_campaign::ExperimentScale;
 use dg_cloudsim::{CloudEnvironment, InterferenceProfile, SimTime, VmType};
 use dg_tuners::{OracleTuner, Tuner, TuningBudget, TuningOutcome};
 use dg_workloads::{Application, ConfigId, Workload};

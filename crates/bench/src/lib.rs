@@ -13,11 +13,12 @@
 #![warn(missing_docs)]
 
 mod harness;
-mod scale;
 
 pub use harness::{
     darwin_config, evaluate_choice, measure_interference_trace, oracle_reference, run_baseline,
     run_darwin, run_darwin_on_vm, run_darwin_with_ablation, run_hybrid_active_harmony,
     run_hybrid_bliss, standard_workload, EvaluatedChoice,
 };
-pub use scale::ExperimentScale;
+// The scale type moved into `dg-campaign` (campaigns size their cells with it); the
+// re-export keeps the long-standing `dg_bench::ExperimentScale` path working.
+pub use dg_campaign::ExperimentScale;

@@ -1,0 +1,306 @@
+//! The parallel campaign executor.
+//!
+//! Cells are independent by construction — each derives every RNG stream from its own
+//! [`CampaignSpec::cell_seed`] — so the executor can fan them out across worker threads
+//! with a shared atomic cursor (work stealing degenerates to "take the next unstarted
+//! cell", which is optimal when cells are independent and of similar cost). Results are
+//! collected into a slot per grid position and assembled in stable grid order, so for
+//! uncapped (and `max_cells`-capped) campaigns the [`CampaignReport`] is byte-for-byte
+//! identical no matter how many workers ran or in which order cells completed. The one
+//! exception is the *best-effort* `max_core_hours` cap: which cells are still in flight
+//! when it trips depends on scheduling, so a capped run's completed set can vary with
+//! worker count — the report always describes exactly the cells that completed.
+
+use crate::report::{CampaignReport, CellResult};
+use crate::scale::ExperimentScale;
+use crate::spec::{profile_label, CampaignSpec, CellCoord};
+use darwin_core::{AblationConfig, DarwinGame, TournamentConfig};
+use dg_cloudsim::CloudEnvironment;
+use dg_tuners::{TunerRegistry, TuningBudget};
+use dg_workloads::Workload;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A registry with everything the standard experiments sweep over: the `dg-tuners`
+/// baselines plus `"DarwinGame"` configured from `scale` (regions, players per game
+/// clamped to the cell's VM).
+///
+/// The registered DarwinGame runs its regional phase serially: the campaign executor
+/// already saturates the host across cells, so nested per-region threads would only
+/// oversubscribe it.
+pub fn standard_registry(scale: &ExperimentScale) -> TunerRegistry {
+    let mut registry = TunerRegistry::baselines();
+    register_darwin_variant(&mut registry, "DarwinGame", scale, AblationConfig::full());
+    registry
+}
+
+/// Registers a DarwinGame variant with the given ablation switches under `name`.
+/// Used by the ablation campaigns (Fig. 16), where each variant is one tuner-axis entry.
+pub fn register_darwin_variant(
+    registry: &mut TunerRegistry,
+    name: impl Into<String>,
+    scale: &ExperimentScale,
+    ablation: AblationConfig,
+) {
+    let scale = *scale;
+    registry.register(name, move |seed, vm| {
+        let mut config = TournamentConfig::scaled(scale.regions, seed);
+        config.players_per_game = Some(scale.players_per_game.min(vm.vcpus()).max(2));
+        config.parallel_regions = false;
+        config.ablation = ablation;
+        Box::new(DarwinGame::new(config))
+    });
+}
+
+/// A campaign ready to run: a validated spec plus the tuner registry resolving its
+/// tuner axis.
+pub struct Campaign {
+    spec: CampaignSpec,
+    registry: TunerRegistry,
+}
+
+impl std::fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("spec", &self.spec.name)
+            .field("grid_cells", &self.spec.grid_size())
+            .finish()
+    }
+}
+
+impl Campaign {
+    /// Creates a campaign over the [`standard_registry`] for the spec's scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid or names a tuner the standard registry lacks.
+    pub fn new(spec: CampaignSpec) -> Self {
+        let registry = standard_registry(&spec.scale);
+        Self::with_registry(spec, registry)
+    }
+
+    /// Creates a campaign over a custom registry (ablation variants, hybrid tuners,
+    /// user-registered factories).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid or names a tuner the registry lacks.
+    pub fn with_registry(spec: CampaignSpec, registry: TunerRegistry) -> Self {
+        spec.validate();
+        for tuner in &spec.tuners {
+            assert!(
+                registry.contains(tuner),
+                "tuner {tuner:?} is not in the registry (registered: {:?})",
+                registry.names()
+            );
+        }
+        Self { spec, registry }
+    }
+
+    /// The campaign's spec.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Runs the campaign on one worker per available CPU.
+    pub fn run(&self) -> CampaignReport {
+        self.run_with_workers(default_workers())
+    }
+
+    /// Runs the campaign on exactly `workers` worker threads.
+    ///
+    /// Without a `max_core_hours` cap the report is identical (byte-for-byte in its
+    /// JSON form) for every `workers` value; only host wall-clock time changes. With
+    /// the cap, the completed cell set can depend on scheduling (cells already in
+    /// flight when the cap trips still finish), but the report always lists exactly
+    /// the completed cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn run_with_workers(&self, workers: usize) -> CampaignReport {
+        assert!(workers > 0, "at least one worker is required");
+        let cells = self.spec.cells();
+        let scheduled = cells.len();
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let spent_core_hours = Mutex::new(0.0_f64);
+        let slots: Vec<Mutex<Option<CellResult>>> =
+            (0..scheduled).map(|_| Mutex::new(None)).collect();
+
+        let worker_loop = || loop {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let i = next.fetch_add(1, Ordering::SeqCst);
+            if i >= scheduled {
+                break;
+            }
+            let result = run_cell(&self.spec, &self.registry, &cells[i]);
+            let hours = result.core_hours;
+            *slots[i].lock().expect("cell slot poisoned") = Some(result);
+            if let Some(cap) = self.spec.max_core_hours {
+                let mut spent = spent_core_hours.lock().expect("budget lock poisoned");
+                *spent += hours;
+                if *spent >= cap {
+                    stop.store(true, Ordering::SeqCst);
+                }
+            }
+        };
+
+        let worker_count = workers.min(scheduled.max(1));
+        if worker_count <= 1 {
+            // Single-worker runs stay on the caller's thread: no spawn overhead, and the
+            // serial reference measured by the fig15 bench is exactly this path.
+            worker_loop();
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..worker_count)
+                    .map(|_| scope.spawn(|_| worker_loop()))
+                    .collect();
+                for handle in handles {
+                    handle.join().expect("campaign worker panicked");
+                }
+            })
+            .expect("campaign scope failed");
+        }
+
+        let completed: Vec<CellResult> = slots
+            .into_iter()
+            .filter_map(|slot| slot.into_inner().expect("cell slot poisoned"))
+            .collect();
+        // The cap may trip on the very last scheduled cell; that run is complete, not
+        // truncated, so `budget_exhausted` additionally requires unfinished cells.
+        let budget_exhausted = stop.load(Ordering::SeqCst) && completed.len() < scheduled;
+        CampaignReport::from_cells(
+            self.spec.name.clone(),
+            self.spec.grid_size(),
+            scheduled,
+            budget_exhausted,
+            completed,
+        )
+    }
+}
+
+/// One worker per available CPU (at least one).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs a single campaign cell: build the workload and a fresh cloud environment, tune,
+/// then re-measure the chosen configuration with repeated later executions.
+fn run_cell(spec: &CampaignSpec, registry: &TunerRegistry, cell: &CellCoord) -> CellResult {
+    // `seed_index` equals `index` unless the spec pairs tuners, in which case cells
+    // differing only in tuner share it (and therefore the environment's noise).
+    let root = spec.cell_rng(cell.seed_index);
+    // The seed-axis value folds into both sub-streams so replicates differ even if two
+    // grid positions were ever given the same index-derived root.
+    let env_seed = root.derive("env").derive_index(cell.seed).seed();
+    let tuner_seed = root.derive("tuner").derive_index(cell.seed).seed();
+
+    let workload = Workload::scaled(cell.application, spec.scale.space_size);
+    let mut cloud = CloudEnvironment::new(cell.vm, cell.profile.clone(), env_seed);
+    let mut tuner = registry
+        .build(&cell.tuner, tuner_seed, cell.vm)
+        .expect("tuner axis validated at construction");
+    let budget = TuningBudget::evaluations(spec.budget_for(&cell.tuner));
+    let outcome = tuner.tune(&workload, &mut cloud, budget);
+
+    let runs = cloud.observe_repeated(
+        workload.spec(outcome.chosen),
+        spec.scale.evaluation_runs,
+        spec.scale.evaluation_spacing,
+    );
+    CellResult {
+        index: cell.index,
+        tuner: cell.tuner.clone(),
+        application: cell.application.name().to_string(),
+        vm: cell.vm.name().to_string(),
+        profile: profile_label(&cell.profile),
+        seed: cell.seed,
+        chosen: outcome.chosen,
+        mean_time: dg_stats::mean(&runs),
+        cov_percent: dg_stats::coefficient_of_variation(&runs),
+        samples: outcome.samples,
+        core_hours: outcome.core_hours,
+        wall_clock_seconds: outcome.wall_clock_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::single("executor-smoke", "RandomSearch", 2);
+        spec.scale = ExperimentScale::smoke();
+        spec.base_seed = 11;
+        spec
+    }
+
+    #[test]
+    fn single_tuner_campaign_completes_every_cell() {
+        let report = Campaign::new(smoke_spec()).run_with_workers(1);
+        assert_eq!(report.completed_cells(), 2);
+        assert_eq!(report.groups.len(), 1);
+        assert!(!report.budget_exhausted);
+        assert!(report.total_core_hours > 0.0);
+        assert!(report.cells.iter().all(|c| c.mean_time > 0.0));
+    }
+
+    #[test]
+    fn cells_arrive_in_grid_order_regardless_of_workers() {
+        let report = Campaign::new(smoke_spec()).run_with_workers(2);
+        let indices: Vec<usize> = report.cells.iter().map(|c| c.index).collect();
+        assert_eq!(indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn darwin_game_runs_as_a_campaign_tuner() {
+        let mut spec = smoke_spec();
+        spec.tuners = vec!["DarwinGame".into()];
+        spec.seeds = vec![0];
+        let report = Campaign::new(spec).run_with_workers(1);
+        assert_eq!(report.completed_cells(), 1);
+        assert_eq!(report.cells[0].tuner, "DarwinGame");
+        assert!(report.cells[0].samples > 0);
+    }
+
+    #[test]
+    fn paired_tuners_see_identical_noise() {
+        use dg_tuners::RandomSearch;
+        // Two names for the same underlying tuner: with pairing, their cells share
+        // every RNG stream, so the results must be identical apart from the label.
+        let mut spec = smoke_spec();
+        spec.tuners = vec!["A".into(), "B".into()];
+        spec.seeds = vec![0];
+        spec.paired_tuners = true;
+        let mut registry = TunerRegistry::new();
+        registry.register("A", |seed, _vm| Box::new(RandomSearch::new(seed)));
+        registry.register("B", |seed, _vm| Box::new(RandomSearch::new(seed)));
+        let report = Campaign::with_registry(spec, registry).run_with_workers(1);
+        assert_eq!(report.cells[0].chosen, report.cells[1].chosen);
+        assert_eq!(
+            report.cells[0].mean_time.to_bits(),
+            report.cells[1].mean_time.to_bits()
+        );
+        assert_eq!(report.cells[0].tuner, "A");
+        assert_eq!(report.cells[1].tuner, "B");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the registry")]
+    fn unknown_tuner_rejected_at_construction() {
+        let mut spec = smoke_spec();
+        spec.tuners = vec!["NoSuchTuner".into()];
+        let _ = Campaign::new(spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Campaign::new(smoke_spec()).run_with_workers(0);
+    }
+}

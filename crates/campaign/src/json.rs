@@ -1,0 +1,92 @@
+//! Canonical JSON emission.
+//!
+//! The vendored `serde` is a no-op shim (see `vendor/README.md`), so campaign reports
+//! serialize through this small hand-rolled writer instead. The output is *canonical*:
+//! fixed key order, no whitespace, and floats rendered with Rust's shortest-round-trip
+//! `Display` — so two reports with identical contents produce byte-identical strings,
+//! which the campaign determinism tests (1 worker vs N workers) rely on.
+
+use std::fmt::Write as _;
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub(crate) fn push_str_literal(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number for `value`; non-finite values become `null` (JSON has no
+/// representation for them).
+pub(crate) fn push_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        // Rust's f64 Display is the shortest decimal string that round-trips, never in
+        // scientific notation — both JSON-valid and deterministic.
+        let _ = write!(out, "{value}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `"key":` to an object body, handling the leading comma.
+pub(crate) fn push_key(out: &mut String, first: &mut bool, key: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    push_str_literal(out, key);
+    out.push(':');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        push_str_literal(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn control_characters_use_unicode_escapes() {
+        let mut out = String::new();
+        push_str_literal(&mut out, "\u{01}");
+        assert_eq!(out, "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_render_shortest_round_trip() {
+        let mut out = String::new();
+        push_f64(&mut out, 245.3);
+        out.push(' ');
+        push_f64(&mut out, f64::NAN);
+        out.push(' ');
+        push_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "245.3 null null");
+    }
+
+    #[test]
+    fn keys_are_comma_separated() {
+        let mut out = String::from("{");
+        let mut first = true;
+        push_key(&mut out, &mut first, "a");
+        out.push('1');
+        push_key(&mut out, &mut first, "b");
+        out.push('2');
+        out.push('}');
+        assert_eq!(out, r#"{"a":1,"b":2}"#);
+    }
+}

@@ -1,0 +1,45 @@
+//! Parallel experiment campaigns for the DarwinGame reproduction.
+//!
+//! The paper's evaluation is not one tournament but thousands: sweeps over tuners,
+//! applications, VM types, interference profiles, and seeds (Figs. 10–16, Table 1).
+//! This crate turns "run one tuning session" into "run a campaign":
+//!
+//! * [`CampaignSpec`] declares the cross-product grid plus per-axis budget overrides
+//!   and optional budget caps;
+//! * [`Campaign`] fans the cells out across worker threads (a shared-cursor
+//!   work-stealing pool over the `crossbeam` scoped-thread shim) while keeping results
+//!   **deterministic**: every cell derives its RNG streams from
+//!   [`CampaignSpec::cell_seed`] (built on [`dg_cloudsim::mix`]) and results are
+//!   collected in stable grid order, so the report is byte-identical whether it ran on
+//!   one worker or thirty-two (the best-effort `max_core_hours` cap is the one
+//!   scheduling-dependent feature; see [`CampaignSpec`]);
+//! * results stream into `dg-stats` online accumulators per `(tuner, application, vm,
+//!   profile)` group and land in a [`CampaignReport`] with canonical JSON emission
+//!   ([`CampaignReport::to_json`]) and a compact text summary
+//!   ([`CampaignReport::summary_table`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use dg_campaign::{Campaign, CampaignSpec, ExperimentScale};
+//!
+//! let mut spec = CampaignSpec::single("demo", "RandomSearch", 2);
+//! spec.scale = ExperimentScale::smoke();
+//! let report = Campaign::new(spec).run_with_workers(2);
+//! assert_eq!(report.completed_cells(), 2);
+//! assert!(report.to_json().contains("\"tuner\":\"RandomSearch\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+mod json;
+mod report;
+mod scale;
+mod spec;
+
+pub use executor::{default_workers, register_darwin_variant, standard_registry, Campaign};
+pub use report::{CampaignReport, CellResult, GroupSummary};
+pub use scale::ExperimentScale;
+pub use spec::{profile_label, CampaignSpec, CellCoord};

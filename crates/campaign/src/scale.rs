@@ -29,7 +29,9 @@ pub struct ExperimentScale {
     /// Seconds of simulated time between those repeated executions.
     pub evaluation_spacing: f64,
     /// Number of times tuning is repeated (with different seeds) when an experiment
-    /// reports a range or stability statistic.
+    /// reports a range or stability statistic. Only the hand-rolled harness loops in
+    /// `dg-bench` read this; campaigns replicate through their *seed axis* instead
+    /// (`CampaignSpec::seeds`), and the campaign executor ignores this field.
     pub tuning_repeats: usize,
 }
 

@@ -1,0 +1,359 @@
+//! Campaign specifications: the cross-product grid of one experiment sweep.
+
+use crate::scale::ExperimentScale;
+use dg_cloudsim::{mix, InterferenceProfile, SimRng, VmType};
+use dg_workloads::Application;
+use serde::{Deserialize, Serialize};
+
+/// A short, human-readable label for an interference profile, used in cell results,
+/// group keys, and JSON output.
+///
+/// The label is injective over the profile's parameters (distinct `Constant`/`Custom`
+/// profiles get distinct labels), because it doubles as part of the report's group key.
+pub fn profile_label(profile: &InterferenceProfile) -> String {
+    match profile {
+        InterferenceProfile::Dedicated => "dedicated".to_string(),
+        InterferenceProfile::Constant(level) => format!("constant({level})"),
+        InterferenceProfile::Typical => "typical".to_string(),
+        InterferenceProfile::Heavy => "heavy".to_string(),
+        InterferenceProfile::Custom {
+            base,
+            value_amplitude,
+            regime_scale,
+            burst_magnitude,
+        } => format!("custom({base},{value_amplitude},{regime_scale},{burst_magnitude})"),
+    }
+}
+
+/// One cell of a campaign grid: a single `(tuner, application, vm, profile, seed)`
+/// combination, in stable grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellCoord {
+    /// Position in the full grid (stable regardless of execution order).
+    pub index: usize,
+    /// Index the cell's RNG streams are derived from. Equal to `index` unless the spec
+    /// pairs tuners ([`CampaignSpec::paired_tuners`]), in which case cells that differ
+    /// only in their tuner share a `seed_index` (and therefore environment noise).
+    pub seed_index: usize,
+    /// Registry name of the tuner to run.
+    pub tuner: String,
+    /// Application workload.
+    pub application: Application,
+    /// VM type of the cell's cloud environment.
+    pub vm: VmType,
+    /// Interference profile of the cell's cloud environment.
+    pub profile: InterferenceProfile,
+    /// Seed-axis value (the replicate identifier, *not* the raw RNG seed).
+    pub seed: u64,
+}
+
+/// Declarative description of an experiment campaign: the cross product of a tuner axis,
+/// an application axis, a VM axis, an interference-profile axis, and a seed axis, plus
+/// the per-cell experiment scale and optional budget caps.
+///
+/// Cells are enumerated in a stable nested order — tuners outermost, then applications,
+/// VM types, profiles, and seeds innermost — and each cell derives its RNG streams from
+/// [`cell_seed`](Self::cell_seed), so each cell's result depends only on the spec, never
+/// on worker count or completion order. Whole-campaign reports are likewise identical
+/// across worker counts, except that a `max_core_hours`-capped run's *completed set*
+/// can vary with scheduling (see the field's documentation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name, echoed into the report.
+    pub name: String,
+    /// Tuner axis: registry names (see `dg_tuners::TunerRegistry`).
+    pub tuners: Vec<String>,
+    /// Application axis.
+    pub applications: Vec<Application>,
+    /// VM-type axis.
+    pub vm_types: Vec<VmType>,
+    /// Interference-profile axis.
+    pub profiles: Vec<InterferenceProfile>,
+    /// Seed axis: one replicate per value.
+    pub seeds: Vec<u64>,
+    /// Per-cell experiment scale (workload size, tournament regions, budgets,
+    /// measurement protocol).
+    pub scale: ExperimentScale,
+    /// Base seed all cell seeds are derived from.
+    pub base_seed: u64,
+    /// Per-tuner evaluation-budget overrides `(tuner name, evaluations)`; tuners without
+    /// an override use [`ExperimentScale::baseline_budget`] (or
+    /// [`ExperimentScale::exhaustive_budget`] for the exhaustive search).
+    pub budget_overrides: Vec<(String, usize)>,
+    /// Deterministic cap: only the first `max_cells` cells of the grid are scheduled.
+    pub max_cells: Option<usize>,
+    /// Best-effort cap on total tuning core-hours: once completed cells have consumed at
+    /// least this much, no further cells are *started* (in-flight cells still finish).
+    /// Because in-flight cells depend on scheduling, the completed set of a capped run
+    /// can vary with worker count; use `max_cells` for a deterministic cap.
+    pub max_core_hours: Option<f64>,
+    /// When true, cells that differ only in their tuner-axis entry share the same
+    /// environment and tuner RNG seeds, turning every tuner comparison into a *paired*
+    /// one (identical noise realisations — the design the Fig. 16 ablation sweep
+    /// needs). When false (the default), every cell is seeded independently, the way
+    /// different tenants would each see their own noise.
+    pub paired_tuners: bool,
+}
+
+impl CampaignSpec {
+    /// Creates a spec with empty axes and the default experiment scale.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tuners: Vec::new(),
+            applications: Vec::new(),
+            vm_types: Vec::new(),
+            profiles: Vec::new(),
+            seeds: Vec::new(),
+            scale: ExperimentScale::default_scale(),
+            base_seed: 0x0da2,
+            budget_overrides: Vec::new(),
+            max_cells: None,
+            max_core_hours: None,
+            paired_tuners: false,
+        }
+    }
+
+    /// A single-axis default: one tuner, Redis, the paper's main VM, the typical
+    /// profile, and `replicates` seeds `0..replicates`. A convenient starting point that
+    /// callers then widen along the axes they sweep.
+    pub fn single(name: impl Into<String>, tuner: impl Into<String>, replicates: u64) -> Self {
+        let mut spec = Self::new(name);
+        spec.tuners = vec![tuner.into()];
+        spec.applications = vec![Application::Redis];
+        spec.vm_types = vec![VmType::M5_8xlarge];
+        spec.profiles = vec![InterferenceProfile::typical()];
+        spec.seeds = (0..replicates).collect();
+        spec
+    }
+
+    /// Size of the full cross-product grid (before any `max_cells` cap).
+    pub fn grid_size(&self) -> usize {
+        self.tuners.len()
+            * self.applications.len()
+            * self.vm_types.len()
+            * self.profiles.len()
+            * self.seeds.len()
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty, the scale is invalid, or `max_cells` is zero.
+    pub fn validate(&self) {
+        assert!(!self.tuners.is_empty(), "campaign needs at least one tuner");
+        assert!(
+            !self.applications.is_empty(),
+            "campaign needs at least one application"
+        );
+        assert!(
+            !self.vm_types.is_empty(),
+            "campaign needs at least one VM type"
+        );
+        assert!(
+            !self.profiles.is_empty(),
+            "campaign needs at least one interference profile"
+        );
+        assert!(!self.seeds.is_empty(), "campaign needs at least one seed");
+        if let Some(max_cells) = self.max_cells {
+            assert!(max_cells > 0, "max_cells must be positive when set");
+        }
+        if let Some(cap) = self.max_core_hours {
+            assert!(
+                cap.is_finite() && cap > 0.0,
+                "max_core_hours must be positive and finite when set"
+            );
+        }
+        self.scale.validate();
+    }
+
+    /// The scheduled cells: the full grid in stable nested order, truncated to
+    /// `max_cells` when set.
+    pub fn cells(&self) -> Vec<CellCoord> {
+        // With paired tuners, the tuner axis (outermost) is excluded from seed
+        // derivation: cells at the same position within each tuner's sub-grid share
+        // their seed index.
+        let cells_per_tuner = self.grid_size() / self.tuners.len().max(1);
+        let mut cells = Vec::with_capacity(self.grid_size());
+        let mut index = 0usize;
+        for tuner in &self.tuners {
+            for app in &self.applications {
+                for vm in &self.vm_types {
+                    for profile in &self.profiles {
+                        for seed in &self.seeds {
+                            cells.push(CellCoord {
+                                index,
+                                seed_index: if self.paired_tuners {
+                                    index % cells_per_tuner.max(1)
+                                } else {
+                                    index
+                                },
+                                tuner: tuner.clone(),
+                                application: *app,
+                                vm: *vm,
+                                profile: profile.clone(),
+                                seed: *seed,
+                            });
+                            index += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(max_cells) = self.max_cells {
+            cells.truncate(max_cells);
+        }
+        cells
+    }
+
+    /// The deterministic root seed of cell `index`, derived with the simulator's
+    /// [`mix`] so campaigns and single tournaments share one seeding discipline.
+    pub fn cell_seed(&self, index: usize) -> u64 {
+        mix(self.base_seed, index as u64)
+    }
+
+    /// The root RNG of cell `index`; the executor derives the environment and tuner
+    /// sub-streams from it by label.
+    pub fn cell_rng(&self, index: usize) -> SimRng {
+        SimRng::new(self.cell_seed(index))
+    }
+
+    /// The evaluation budget for `tuner`: an explicit override when present, else the
+    /// exhaustive budget for the exhaustive search, else the baseline budget.
+    pub fn budget_for(&self, tuner: &str) -> usize {
+        if let Some((_, budget)) = self.budget_overrides.iter().find(|(name, _)| name == tuner) {
+            return *budget;
+        }
+        if tuner == "Exhaustive" {
+            self.scale.exhaustive_budget
+        } else {
+            self.scale.baseline_budget
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_by_two() -> CampaignSpec {
+        let mut spec = CampaignSpec::single("test", "RandomSearch", 2);
+        spec.tuners = vec!["RandomSearch".into(), "BLISS".into()];
+        spec.scale = ExperimentScale::smoke();
+        spec
+    }
+
+    #[test]
+    fn grid_is_the_cross_product_in_stable_order() {
+        let spec = two_by_two();
+        assert_eq!(spec.grid_size(), 4);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].tuner, "RandomSearch");
+        assert_eq!(cells[0].seed, 0);
+        assert_eq!(cells[1].tuner, "RandomSearch");
+        assert_eq!(cells[1].seed, 1);
+        assert_eq!(cells[2].tuner, "BLISS");
+        assert_eq!(cells[3].tuner, "BLISS");
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+        }
+    }
+
+    #[test]
+    fn max_cells_truncates_the_grid() {
+        let mut spec = two_by_two();
+        spec.max_cells = Some(3);
+        assert_eq!(spec.cells().len(), 3);
+        assert_eq!(spec.grid_size(), 4, "grid_size reports the full grid");
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_and_stable() {
+        let spec = two_by_two();
+        let seeds: Vec<u64> = (0..4).map(|i| spec.cell_seed(i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4, "cell seeds must be distinct");
+        assert_eq!(spec.cell_seed(2), spec.cell_seed(2));
+        assert_eq!(spec.cell_seed(0), mix(spec.base_seed, 0));
+    }
+
+    #[test]
+    fn paired_tuners_share_seed_indices_across_the_tuner_axis() {
+        let mut spec = two_by_two();
+        spec.paired_tuners = true;
+        let cells = spec.cells();
+        // 2 tuners x 2 seeds: positions 0/1 belong to the first tuner, 2/3 to the
+        // second; pairing maps the second tuner's cells onto the first tuner's seeds.
+        assert_eq!(cells[0].seed_index, 0);
+        assert_eq!(cells[1].seed_index, 1);
+        assert_eq!(cells[2].seed_index, 0);
+        assert_eq!(cells[3].seed_index, 1);
+
+        spec.paired_tuners = false;
+        let unpaired = spec.cells();
+        assert_eq!(unpaired[2].seed_index, 2);
+        assert_eq!(unpaired[3].seed_index, 3);
+    }
+
+    #[test]
+    fn budget_overrides_take_precedence() {
+        let mut spec = two_by_two();
+        assert_eq!(spec.budget_for("RandomSearch"), spec.scale.baseline_budget);
+        assert_eq!(spec.budget_for("Exhaustive"), spec.scale.exhaustive_budget);
+        spec.budget_overrides.push(("RandomSearch".into(), 7));
+        assert_eq!(spec.budget_for("RandomSearch"), 7);
+    }
+
+    #[test]
+    fn profile_labels_are_compact() {
+        assert_eq!(profile_label(&InterferenceProfile::typical()), "typical");
+        assert_eq!(profile_label(&InterferenceProfile::heavy()), "heavy");
+        assert_eq!(profile_label(&InterferenceProfile::Dedicated), "dedicated");
+        assert_eq!(
+            profile_label(&InterferenceProfile::Constant(0.5)),
+            "constant(0.5)"
+        );
+    }
+
+    #[test]
+    fn distinct_custom_profiles_get_distinct_labels() {
+        let a = InterferenceProfile::Custom {
+            base: 0.05,
+            value_amplitude: 0.25,
+            regime_scale: 1.0,
+            burst_magnitude: 0.9,
+        };
+        let b = InterferenceProfile::Custom {
+            base: 0.15,
+            value_amplitude: 0.25,
+            regime_scale: 1.0,
+            burst_magnitude: 0.9,
+        };
+        assert_ne!(
+            profile_label(&a),
+            profile_label(&b),
+            "group keys must distinguish different custom profiles"
+        );
+        assert_eq!(profile_label(&a), "custom(0.05,0.25,1,0.9)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tuner")]
+    fn empty_tuner_axis_rejected() {
+        let mut spec = two_by_two();
+        spec.tuners.clear();
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_cells must be positive")]
+    fn zero_max_cells_rejected() {
+        let mut spec = two_by_two();
+        spec.max_cells = Some(0);
+        spec.validate();
+    }
+}

@@ -1,0 +1,110 @@
+//! Campaign determinism: the report is a pure function of the spec.
+//!
+//! The executor fans cells out across worker threads; these tests pin the property the
+//! rest of the repository relies on — worker count and completion order are invisible
+//! in the result — plus the budget-cap contract: a capped campaign reports exactly the
+//! cells that completed.
+
+use dg_campaign::{Campaign, CampaignSpec, ExperimentScale};
+use dg_cloudsim::InterferenceProfile;
+
+fn small_grid() -> CampaignSpec {
+    let mut spec = CampaignSpec::single("determinism", "RandomSearch", 2);
+    spec.tuners = vec!["RandomSearch".into(), "BLISS".into()];
+    spec.profiles = vec![InterferenceProfile::typical(), InterferenceProfile::heavy()];
+    spec.scale = ExperimentScale::smoke();
+    spec.base_seed = 7;
+    spec
+}
+
+#[test]
+fn one_worker_and_many_workers_emit_byte_identical_json() {
+    let campaign = Campaign::new(small_grid());
+    let serial = campaign.run_with_workers(1);
+    let parallel = campaign.run_with_workers(4);
+    assert_eq!(serial.completed_cells(), 8);
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "worker count must be invisible in the report"
+    );
+    // And the structured reports agree too, not just their serialization.
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    let campaign = Campaign::new(small_grid());
+    let a = campaign.run_with_workers(2);
+    let b = campaign.run_with_workers(3);
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn report_lists_cells_in_stable_grid_order() {
+    let report = Campaign::new(small_grid()).run_with_workers(4);
+    let indices: Vec<usize> = report.cells.iter().map(|c| c.index).collect();
+    assert_eq!(indices, (0..8).collect::<Vec<_>>());
+    // Grid order: tuners outermost, then profiles, then seeds.
+    assert_eq!(report.cells[0].tuner, "RandomSearch");
+    assert_eq!(report.cells[0].profile, "typical");
+    assert_eq!(report.cells[0].seed, 0);
+    assert_eq!(report.cells[3].tuner, "RandomSearch");
+    assert_eq!(report.cells[3].profile, "heavy");
+    assert_eq!(report.cells[3].seed, 1);
+    assert_eq!(report.cells[4].tuner, "BLISS");
+}
+
+#[test]
+fn budget_capped_campaign_reports_exactly_the_completed_cells() {
+    let mut spec = small_grid();
+    // Every smoke-scale cell costs well over 0.1 core-hours, so the cap trips after the
+    // very first completed cell.
+    spec.max_core_hours = Some(0.1);
+    let report = Campaign::new(spec).run_with_workers(1);
+
+    assert!(report.budget_exhausted, "the cap must be reported");
+    assert!(report.completed_cells() < report.scheduled_cells);
+    assert_eq!(report.completed_cells(), 1, "1 worker stops after one cell");
+    // The reported cell set is exactly what completed: stable order, no gaps invented,
+    // and the totals are consistent with the listed cells.
+    assert_eq!(report.cells[0].index, 0);
+    let listed: f64 = report.cells.iter().map(|c| c.core_hours).sum();
+    assert!((report.total_core_hours - listed).abs() < 1e-12);
+    let grouped: usize = report.groups.iter().map(|g| g.cells).sum();
+    assert_eq!(grouped, report.completed_cells());
+}
+
+#[test]
+fn budget_capped_parallel_run_is_still_consistent() {
+    let mut spec = small_grid();
+    spec.max_core_hours = Some(0.1);
+    let report = Campaign::new(spec).run_with_workers(4);
+    // Which cells complete depends on scheduling, but the report must describe exactly
+    // the completed set: indices unique, ascending, within the scheduled range, and
+    // totals derived from the listed cells only.
+    assert!(report.budget_exhausted);
+    assert!(!report.cells.is_empty());
+    let indices: Vec<usize> = report.cells.iter().map(|c| c.index).collect();
+    let mut sorted = indices.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(indices, sorted, "cells must be unique and in grid order");
+    assert!(indices.iter().all(|i| *i < report.scheduled_cells));
+    let listed: f64 = report.cells.iter().map(|c| c.core_hours).sum();
+    assert!((report.total_core_hours - listed).abs() < 1e-12);
+}
+
+#[test]
+fn max_cells_truncation_is_deterministic() {
+    let mut spec = small_grid();
+    spec.max_cells = Some(3);
+    let campaign = Campaign::new(spec);
+    let serial = campaign.run_with_workers(1);
+    let parallel = campaign.run_with_workers(4);
+    assert_eq!(serial.scheduled_cells, 3);
+    assert_eq!(serial.completed_cells(), 3);
+    assert_eq!(serial.grid_cells, 8);
+    assert!(!serial.budget_exhausted);
+    assert_eq!(serial.to_json(), parallel.to_json());
+}

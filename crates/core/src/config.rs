@@ -60,6 +60,86 @@ impl AblationConfig {
     pub fn full() -> Self {
         Self::default()
     }
+
+    /// The full design followed by the ten single-element ablations of Fig. 16, each
+    /// with its display name, in the paper's order. The single source of truth for the
+    /// ablation example and the Fig. 16 bench, so the two can never drift apart.
+    pub fn paper_variants() -> Vec<(&'static str, AblationConfig)> {
+        let full = Self::full();
+        vec![
+            ("full DarwinGame", full),
+            (
+                "w/o regional",
+                AblationConfig {
+                    regional_phase: false,
+                    ..full
+                },
+            ),
+            (
+                "one-win regional",
+                AblationConfig {
+                    single_regional_winner: true,
+                    ..full
+                },
+            ),
+            (
+                "w/o Swiss",
+                AblationConfig {
+                    swiss_regional: false,
+                    ..full
+                },
+            ),
+            (
+                "w/o global",
+                AblationConfig {
+                    global_phase: false,
+                    ..full
+                },
+            ),
+            (
+                "w/o double elimination",
+                AblationConfig {
+                    double_elimination: false,
+                    ..full
+                },
+            ),
+            (
+                "w/o barrage",
+                AblationConfig {
+                    barrage_playoffs: false,
+                    ..full
+                },
+            ),
+            (
+                "w/o consistency score",
+                AblationConfig {
+                    consistency_score: false,
+                    ..full
+                },
+            ),
+            (
+                "w/o execution score",
+                AblationConfig {
+                    execution_score: false,
+                    ..full
+                },
+            ),
+            (
+                "all 2-player games",
+                AblationConfig {
+                    multiplayer_games: false,
+                    ..full
+                },
+            ),
+            (
+                "w/o early termination",
+                AblationConfig {
+                    early_termination: false,
+                    ..full
+                },
+            ),
+        ]
+    }
 }
 
 /// All knobs of a DarwinGame tournament.
@@ -227,5 +307,25 @@ mod tests {
         assert!(ablation.regional_phase && ablation.global_phase);
         assert!(ablation.consistency_score && ablation.execution_score);
         assert!(ablation.early_termination);
+    }
+
+    #[test]
+    fn paper_variants_cover_every_switch_exactly_once() {
+        let variants = AblationConfig::paper_variants();
+        assert_eq!(variants.len(), 11, "full design + 10 ablations");
+        assert_eq!(variants[0].0, "full DarwinGame");
+        assert_eq!(variants[0].1, AblationConfig::full());
+        // Every non-full variant differs from the full design, and all names are unique.
+        let mut names: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+        for (name, ablation) in variants.iter().skip(1) {
+            assert_ne!(
+                *ablation,
+                AblationConfig::full(),
+                "{name} must disable something"
+            );
+        }
     }
 }

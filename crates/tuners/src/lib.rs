@@ -14,6 +14,9 @@
 //! * [`OpenTuner`] — an ensemble of techniques arbitrated by an AUC bandit.
 //! * [`Bliss`] — a pool of lightweight Bayesian-optimisation models.
 //!
+//! [`TunerRegistry`] exposes all of them (and anything downstream crates register) as
+//! named `Box<dyn Tuner>` factories, which is how campaign drivers sweep over tuners.
+//!
 //! # Quick example
 //!
 //! ```
@@ -39,6 +42,7 @@ mod opentuner;
 mod oracle;
 mod outcome;
 mod random;
+mod registry;
 mod simplex;
 mod techniques;
 mod tuner;
@@ -52,6 +56,7 @@ pub use opentuner::OpenTuner;
 pub use oracle::OracleTuner;
 pub use outcome::{SampleRecord, TuningOutcome};
 pub use random::RandomSearch;
+pub use registry::{TunerFactory, TunerRegistry};
 pub use simplex::nelder_mead;
 pub use techniques::{
     EvolutionTechnique, HillClimbTechnique, PatternSearchTechnique, RandomTechnique, SearchContext,

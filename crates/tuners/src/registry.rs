@@ -1,0 +1,182 @@
+//! A factory registry of named tuners.
+//!
+//! Experiment campaigns sweep over *tuners* the same way they sweep over applications or
+//! VM types, which requires constructing fresh tuner instances by name with an arbitrary
+//! seed. The registry maps a display name to a factory closure; factories also receive
+//! the VM type of the evaluation environment so tuners that size themselves to the
+//! hardware (DarwinGame's players-per-game, for instance) can adapt per cell.
+//!
+//! The baselines of this crate are available out of the box via
+//! [`TunerRegistry::baselines`]; downstream crates (the tournament tuner in
+//! `darwin-core`, campaign drivers) register their own entries on top.
+//!
+//! ```
+//! use dg_cloudsim::VmType;
+//! use dg_tuners::{RandomSearch, Tuner, TunerRegistry};
+//!
+//! let mut registry = TunerRegistry::baselines();
+//! registry.register("RandomSearch/2x", |seed, _vm| Box::new(RandomSearch::new(seed * 2)));
+//! let tuner = registry.build("RandomSearch", 7, VmType::M5_8xlarge).expect("registered");
+//! assert_eq!(tuner.name(), "RandomSearch");
+//! ```
+
+use crate::activeharmony::ActiveHarmony;
+use crate::bliss::Bliss;
+use crate::exhaustive::ExhaustiveSearch;
+use crate::opentuner::OpenTuner;
+use crate::random::RandomSearch;
+use crate::tuner::Tuner;
+use dg_cloudsim::VmType;
+
+/// Factory closure type: `(seed, vm) -> tuner`.
+pub type TunerFactory = Box<dyn Fn(u64, VmType) -> Box<dyn Tuner> + Send + Sync>;
+
+/// An ordered registry of named tuner factories.
+///
+/// Registration order is preserved: iterating [`names`](Self::names) (and therefore any
+/// campaign grid built from them) is stable across runs, which campaign determinism
+/// relies on. Registering a name twice replaces the earlier factory in place.
+#[derive(Default)]
+pub struct TunerRegistry {
+    entries: Vec<(String, TunerFactory)>,
+}
+
+impl std::fmt::Debug for TunerRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TunerRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl TunerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry pre-populated with this crate's baselines, in the paper's figure
+    /// order: Exhaustive, BLISS, OpenTuner, ActiveHarmony, RandomSearch.
+    pub fn baselines() -> Self {
+        let mut registry = Self::new();
+        registry.register("Exhaustive", |_seed, _vm| Box::new(ExhaustiveSearch::new()));
+        registry.register("BLISS", |seed, _vm| Box::new(Bliss::new(seed)));
+        registry.register("OpenTuner", |seed, _vm| Box::new(OpenTuner::new(seed)));
+        registry.register("ActiveHarmony", |seed, _vm| {
+            Box::new(ActiveHarmony::new(seed))
+        });
+        registry.register("RandomSearch", |seed, _vm| {
+            Box::new(RandomSearch::new(seed))
+        });
+        registry
+    }
+
+    /// Registers (or replaces) a factory under `name`.
+    pub fn register<F>(&mut self, name: impl Into<String>, factory: F)
+    where
+        F: Fn(u64, VmType) -> Box<dyn Tuner> + Send + Sync + 'static,
+    {
+        let name = name.into();
+        if let Some(entry) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 = Box::new(factory);
+        } else {
+            self.entries.push((name, Box::new(factory)));
+        }
+    }
+
+    /// True when a factory is registered under `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| n == name)
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Number of registered factories.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Builds a fresh tuner instance by name, or `None` for an unknown name.
+    pub fn build(&self, name: &str, seed: u64, vm: VmType) -> Option<Box<dyn Tuner>> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, factory)| factory(seed, vm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::TuningBudget;
+    use dg_cloudsim::{CloudEnvironment, InterferenceProfile};
+    use dg_workloads::{Application, Workload};
+
+    #[test]
+    fn baselines_are_registered_in_stable_order() {
+        let registry = TunerRegistry::baselines();
+        assert_eq!(
+            registry.names(),
+            vec![
+                "Exhaustive",
+                "BLISS",
+                "OpenTuner",
+                "ActiveHarmony",
+                "RandomSearch"
+            ]
+        );
+        assert_eq!(registry.len(), 5);
+        assert!(!registry.is_empty());
+    }
+
+    #[test]
+    fn build_returns_working_tuners() {
+        let registry = TunerRegistry::baselines();
+        let workload = Workload::scaled(Application::Redis, 2_000);
+        let mut cloud =
+            CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 1);
+        let mut tuner = registry
+            .build("RandomSearch", 3, VmType::M5_8xlarge)
+            .expect("Random is a baseline");
+        let outcome = tuner.tune(&workload, &mut cloud, TuningBudget::evaluations(10));
+        assert_eq!(outcome.tuner, "RandomSearch");
+        assert!(outcome.samples <= 10);
+    }
+
+    #[test]
+    fn unknown_name_builds_nothing() {
+        let registry = TunerRegistry::baselines();
+        assert!(registry.build("nope", 1, VmType::M5Large).is_none());
+        assert!(!registry.contains("nope"));
+    }
+
+    #[test]
+    fn register_replaces_existing_name_in_place() {
+        let mut registry = TunerRegistry::baselines();
+        let before: Vec<String> = registry.names().iter().map(|n| n.to_string()).collect();
+        registry.register("RandomSearch", |seed, _vm| {
+            Box::new(RandomSearch::new(seed + 100))
+        });
+        assert_eq!(registry.names(), before, "replacement must keep the order");
+        assert_eq!(registry.len(), 5);
+    }
+
+    #[test]
+    fn factories_receive_the_vm_type() {
+        let mut registry = TunerRegistry::new();
+        registry.register("vm-aware", |seed, vm| {
+            Box::new(RandomSearch::new(seed + vm.vcpus() as u64))
+        });
+        assert!(registry.build("vm-aware", 0, VmType::M5Large).is_some());
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for [`IndexPartition`]: the regional phase and the hybrid
+//! integration both stand on these invariants, so they are pinned across randomized
+//! `(total, parts)` pairs rather than a handful of hand-picked cases.
+
+use dg_workloads::IndexPartition;
+use proptest::prelude::*;
+
+proptest! {
+    /// Parts are pairwise disjoint, contiguous, and cover `0..total` exactly.
+    #[test]
+    fn parts_are_disjoint_and_cover_the_space(total in 1u64..5_000, parts in 1usize..80) {
+        let partition = IndexPartition::new(total, parts);
+        let mut next_expected = 0u64;
+        for i in 0..partition.parts() {
+            let range = partition.range(i);
+            prop_assert_eq!(
+                range.start, next_expected,
+                "part {} must start where part {} ended", i, i.wrapping_sub(1)
+            );
+            prop_assert!(range.start < range.end, "part {} must be non-empty", i);
+            next_expected = range.end;
+        }
+        prop_assert_eq!(next_expected, total, "parts must cover the space exactly");
+    }
+
+    /// Part sizes differ by at most one configuration.
+    #[test]
+    fn part_sizes_differ_by_at_most_one(total in 1u64..100_000, parts in 1usize..200) {
+        let partition = IndexPartition::new(total, parts);
+        let sizes: Vec<u64> = (0..partition.parts()).map(|i| partition.part_size(i)).collect();
+        let min = *sizes.iter().min().expect("at least one part");
+        let max = *sizes.iter().max().expect("at least one part");
+        prop_assert!(max - min <= 1, "sizes {}..{} differ by more than one", min, max);
+        prop_assert_eq!(sizes.iter().sum::<u64>(), total);
+    }
+
+    /// `part_of(i)` agrees with range membership for every index.
+    #[test]
+    fn part_of_agrees_with_membership(total in 1u64..3_000, parts in 1usize..60) {
+        let partition = IndexPartition::new(total, parts);
+        for index in 0..total {
+            let part = partition.part_of(index);
+            prop_assert!(part < partition.parts());
+            prop_assert!(
+                partition.range(part).contains(&index),
+                "part_of({}) = {} but that part is {:?}", index, part, partition.range(part)
+            );
+        }
+    }
+
+    /// The clamp keeps every part non-empty even when more parts than elements are
+    /// requested.
+    #[test]
+    fn clamped_partitions_have_no_empty_parts(total in 1u64..50, parts in 1usize..200) {
+        let partition = IndexPartition::new(total, parts);
+        prop_assert!(partition.parts() as u64 <= total);
+        for i in 0..partition.parts() {
+            prop_assert!(partition.part_size(i) >= 1);
+        }
+    }
+}

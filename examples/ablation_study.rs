@@ -1,8 +1,9 @@
 //! Ablation study: which parts of the tournament actually matter? (mini Fig. 16)
 //!
-//! Runs DarwinGame on one workload with each design element disabled in turn and reports
-//! how the chosen configuration's execution time, variability, and the tuning cost move
-//! relative to the full design.
+//! Every design element of DarwinGame is disabled in turn; each variant is registered as
+//! one entry on a campaign's tuner axis, so the whole sweep runs as parallel campaign
+//! cells instead of a hand-rolled serial loop. The variant list itself lives next to
+//! `AblationConfig` in `darwin-core` and is shared with the Fig. 16 bench.
 //!
 //! Run with:
 //!
@@ -11,125 +12,41 @@
 //! ```
 
 use darwingame::prelude::*;
-use darwingame::stats::{Column, Table};
-
-fn run_with(workload: &Workload, ablation: AblationConfig, seed: u64) -> (f64, f64, f64) {
-    let mut cloud = CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 77);
-    let mut config = TournamentConfig::scaled(48, seed);
-    config.players_per_game = Some(16);
-    config.ablation = ablation;
-    let report = DarwinGame::new(config).run(workload, &mut cloud);
-    let runs = cloud.observe_repeated(workload.spec(report.champion), 40, 1800.0);
-    (
-        mean(&runs),
-        coefficient_of_variation(&runs),
-        report.core_hours,
-    )
-}
 
 fn main() {
-    let workload = Workload::scaled(Application::Redis, 20_000);
-    let full = AblationConfig::full();
-    let ablations: Vec<(&str, AblationConfig)> = vec![
-        ("full DarwinGame", full),
-        (
-            "w/o regional",
-            AblationConfig {
-                regional_phase: false,
-                ..full
-            },
-        ),
-        (
-            "one-win regional",
-            AblationConfig {
-                single_regional_winner: true,
-                ..full
-            },
-        ),
-        (
-            "w/o Swiss",
-            AblationConfig {
-                swiss_regional: false,
-                ..full
-            },
-        ),
-        (
-            "w/o global",
-            AblationConfig {
-                global_phase: false,
-                ..full
-            },
-        ),
-        (
-            "w/o double elimination",
-            AblationConfig {
-                double_elimination: false,
-                ..full
-            },
-        ),
-        (
-            "w/o barrage",
-            AblationConfig {
-                barrage_playoffs: false,
-                ..full
-            },
-        ),
-        (
-            "w/o consistency score",
-            AblationConfig {
-                consistency_score: false,
-                ..full
-            },
-        ),
-        (
-            "w/o execution score",
-            AblationConfig {
-                execution_score: false,
-                ..full
-            },
-        ),
-        (
-            "all 2-player games",
-            AblationConfig {
-                multiplayer_games: false,
-                ..full
-            },
-        ),
-        (
-            "w/o early termination",
-            AblationConfig {
-                early_termination: false,
-                ..full
-            },
-        ),
-    ];
+    let variants = AblationConfig::paper_variants();
 
-    let mut table = Table::new(vec![
-        Column::left("variant"),
-        Column::right("mean time (s)"),
-        Column::right("CoV (%)"),
-        Column::right("core-hours"),
-    ]);
-    let mut reference: Option<(f64, f64, f64)> = None;
-    for (name, ablation) in ablations {
-        let (time, cov, hours) = run_with(&workload, ablation, 5);
-        if reference.is_none() {
-            reference = Some((time, cov, hours));
-        }
-        table.push_row(vec![
-            name.into(),
-            format!("{time:.1}"),
-            format!("{cov:.2}"),
-            format!("{hours:.1}"),
-        ]);
+    let mut spec = CampaignSpec::single("ablation-study", "full DarwinGame", 1);
+    spec.scale = ExperimentScale {
+        space_size: 20_000,
+        regions: 48,
+        evaluation_runs: 40,
+        ..ExperimentScale::default_scale()
+    };
+    spec.base_seed = 77;
+    // Ablations are paired comparisons: every variant must face the same noise as the
+    // full design, so the measured deltas are ablation effect, not seed variance.
+    spec.paired_tuners = true;
+    spec.tuners = variants.iter().map(|(name, _)| (*name).into()).collect();
+
+    let mut registry = TunerRegistry::new();
+    for (name, ablation) in &variants {
+        register_darwin_variant(&mut registry, *name, &spec.scale, *ablation);
     }
 
+    let workload = Workload::scaled(Application::Redis, spec.scale.space_size);
+    let report = Campaign::with_registry(spec, registry).run();
+
     println!(
-        "Ablating DarwinGame's design elements on {} (noisy m5.8xlarge)\n",
-        workload.application()
+        "Ablating DarwinGame's design elements on {} (noisy m5.8xlarge, {} parallel cells)\n",
+        workload.application(),
+        report.completed_cells(),
     );
-    println!("{}", table.render());
-    let (time, cov, hours) = reference.expect("the full design ran first");
-    println!("full design reference: {time:.1} s, CoV {cov:.2} %, {hours:.1} core-hours");
+    println!("{}", report.summary_table().render());
+    let full = &report.cells[0];
+    println!(
+        "full design reference: {:.1} s, CoV {:.2} %, {:.1} core-hours",
+        full.mean_time, full.cov_percent, full.core_hours
+    );
     println!("(every ablated variant should be worse on at least one of the three columns)");
 }

@@ -1,82 +1,60 @@
 //! Compare DarwinGame against the interference-unaware baselines on one workload.
 //!
-//! This is a miniature of the paper's Fig. 10/11: every tuner tunes the same application
-//! in the same noisy cloud, then the chosen configuration is executed repeatedly to
-//! measure its real mean execution time and its variability.
+//! This is a miniature of the paper's Fig. 10/11, declared as a campaign: every tuner on
+//! the tuner axis tunes the same application in its own noisy cloud cell, the cells run
+//! in parallel across the host's cores, and the report aggregates the re-measured mean
+//! execution time and variability of every choice.
 //!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example compare_tuners
 //! ```
+//!
+//! Set `DG_CAMPAIGN_SMOKE=1` to run the CI-sized grid (seconds instead of minutes).
 
 use darwingame::prelude::*;
-use darwingame::stats::{Column, Table};
 
 fn main() {
-    let workload = Workload::scaled(Application::Redis, 20_000);
-    let budget = TuningBudget::evaluations(150);
-    let vm = VmType::M5_8xlarge;
+    let smoke = std::env::var("DG_CAMPAIGN_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
 
-    let mut table = Table::new(vec![
-        Column::left("tuner"),
-        Column::right("mean time (s)"),
-        Column::right("CoV (%)"),
-        Column::right("core-hours"),
-    ]);
-
-    // Dedicated-environment optimum (reference lower bound).
-    let oracle_time = OracleTuner::new().optimal_time(&workload, vm);
-    table.push_row(vec![
-        "Optimal (dedicated)".into(),
-        format!("{oracle_time:.1}"),
-        "-".into(),
-        "-".into(),
-    ]);
-
-    // Baseline tuners, each in its own cloud environment (same VM type and noise profile,
-    // different noise realisations — as different tenants would see).
-    let mut baselines: Vec<Box<dyn Tuner>> = vec![
-        Box::new(ExhaustiveSearch::new()),
-        Box::new(Bliss::new(1)),
-        Box::new(OpenTuner::new(2)),
-        Box::new(ActiveHarmony::new(3)),
-        Box::new(RandomSearch::new(4)),
-    ];
-    for (i, tuner) in baselines.iter_mut().enumerate() {
-        let mut cloud = CloudEnvironment::new(vm, InterferenceProfile::typical(), 100 + i as u64);
-        let exhaustive_budget = TuningBudget::evaluations(2_000);
-        let outcome = if tuner.name() == "Exhaustive" {
-            tuner.tune(&workload, &mut cloud, exhaustive_budget)
-        } else {
-            tuner.tune(&workload, &mut cloud, budget)
-        };
-        let runs = cloud.observe_repeated(workload.spec(outcome.chosen), 50, 1800.0);
-        table.push_row(vec![
-            outcome.tuner.clone(),
-            format!("{:.1}", mean(&runs)),
-            format!("{:.2}", coefficient_of_variation(&runs)),
-            format!("{:.1}", outcome.core_hours),
-        ]);
-    }
-
-    // DarwinGame.
-    let mut cloud = CloudEnvironment::new(vm, InterferenceProfile::typical(), 999);
-    let mut config = TournamentConfig::scaled(48, 5);
-    config.players_per_game = Some(16);
-    let report = DarwinGame::new(config).run(&workload, &mut cloud);
-    let runs = cloud.observe_repeated(workload.spec(report.champion), 50, 1800.0);
-    table.push_row(vec![
+    let mut spec = CampaignSpec::single("compare-tuners", "DarwinGame", 1);
+    spec.tuners = vec![
+        "Exhaustive".into(),
+        "BLISS".into(),
+        "OpenTuner".into(),
+        "ActiveHarmony".into(),
+        "RandomSearch".into(),
         "DarwinGame".into(),
-        format!("{:.1}", mean(&runs)),
-        format!("{:.2}", coefficient_of_variation(&runs)),
-        format!("{:.1}", report.core_hours),
-    ]);
+    ];
+    spec.scale = if smoke {
+        ExperimentScale::smoke()
+    } else {
+        ExperimentScale {
+            space_size: 20_000,
+            regions: 48,
+            baseline_budget: 150,
+            exhaustive_budget: 2_000,
+            evaluation_runs: 50,
+            ..ExperimentScale::default_scale()
+        }
+    };
+    spec.base_seed = 100;
+
+    let workload = Workload::scaled(Application::Redis, spec.scale.space_size);
+    let oracle_time = OracleTuner::new().optimal_time(&workload, VmType::M5_8xlarge);
+
+    let campaign = Campaign::new(spec);
+    let report = campaign.run();
 
     println!(
-        "Tuning {} in a noisy m5.8xlarge cloud\n",
-        workload.application()
+        "Tuning {} in a noisy m5.8xlarge cloud ({} campaign cells, {} workers)\n",
+        workload.application(),
+        report.completed_cells(),
+        darwingame::campaign::default_workers(),
     );
-    println!("{}", table.render());
+    println!("Optimal (dedicated): {oracle_time:.1} s\n");
+    println!("{}", report.summary_table().render());
     println!("(lower is better everywhere; 'Optimal' is the dedicated-environment bound)");
+    println!("\ncampaign report JSON:\n{}", report.to_json());
 }

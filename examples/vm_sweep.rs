@@ -1,8 +1,9 @@
-//! DarwinGame across VM classes and sizes (Fig. 15).
+//! DarwinGame across VM classes and sizes (Fig. 15), declared as a campaign.
 //!
-//! The same Redis workload is tuned on every VM type of the paper's sweep; DarwinGame's
-//! chosen configuration should stay within roughly 10 % of the dedicated-environment
-//! optimum everywhere, with a small coefficient of variation.
+//! The same Redis workload is tuned on every VM type of the paper's sweep — one campaign
+//! cell per VM, fanned out across the host's cores. DarwinGame's chosen configuration
+//! should stay within roughly 10 % of the dedicated-environment optimum everywhere, with
+//! a small coefficient of variation.
 //!
 //! Run with:
 //!
@@ -14,7 +15,18 @@ use darwingame::prelude::*;
 use darwingame::stats::{Column, Table};
 
 fn main() {
-    let workload = Workload::scaled(Application::Redis, 12_000);
+    let mut spec = CampaignSpec::single("vm-sweep", "DarwinGame", 1);
+    spec.vm_types = VmType::ALL.to_vec();
+    spec.scale = ExperimentScale {
+        space_size: 12_000,
+        regions: 32,
+        evaluation_runs: 40,
+        ..ExperimentScale::default_scale()
+    };
+    spec.base_seed = 50;
+
+    let workload = Workload::scaled(Application::Redis, spec.scale.space_size);
+    let report = Campaign::new(spec).run();
 
     let mut table = Table::new(vec![
         Column::left("VM type"),
@@ -24,32 +36,22 @@ fn main() {
         Column::right("gap (%)"),
         Column::right("CoV (%)"),
     ]);
-
-    for (i, vm) in VmType::ALL.iter().enumerate() {
-        let vm = *vm;
-        let oracle = OracleTuner::new().optimal_time(&workload, vm);
-
-        let mut cloud = CloudEnvironment::new(vm, InterferenceProfile::typical(), 50 + i as u64);
-        let mut config = TournamentConfig::scaled(32, 7 + i as u64);
-        // P follows the VM's core count, but stays small enough for tiny VMs.
-        config.players_per_game = Some(vm.vcpus().clamp(2, 16));
-        let report = DarwinGame::new(config).run(&workload, &mut cloud);
-
-        let runs = cloud.observe_repeated(workload.spec(report.champion), 40, 1800.0);
-        let mean_time = mean(&runs);
+    for (cell, vm) in report.cells.iter().zip(VmType::ALL.iter()) {
+        let oracle = OracleTuner::new().optimal_time(&workload, *vm);
         table.push_row(vec![
-            vm.name().into(),
+            cell.vm.clone(),
             format!("{}", vm.vcpus()),
             format!("{oracle:.1}"),
-            format!("{mean_time:.1}"),
-            format!("{:.1}", 100.0 * (mean_time - oracle) / oracle),
-            format!("{:.2}", coefficient_of_variation(&runs)),
+            format!("{:.1}", cell.mean_time),
+            format!("{:.1}", 100.0 * (cell.mean_time - oracle) / oracle),
+            format!("{:.2}", cell.cov_percent),
         ]);
     }
 
     println!(
-        "DarwinGame vs Oracle across VM types ({}, 1M requests)\n",
-        workload.application()
+        "DarwinGame vs Oracle across VM types ({}, 1M requests; {} parallel cells)\n",
+        workload.application(),
+        report.completed_cells(),
     );
     println!("{}", table.render());
 }

@@ -12,6 +12,7 @@
 //! * [`darwin`] — the DarwinGame tournament tuner and hybrid integration
 //!   ([`darwin_core`]).
 //! * [`stats`] — shared statistics helpers ([`dg_stats`]).
+//! * [`campaign`] — the parallel experiment-campaign runner ([`dg_campaign`]).
 //!
 //! # Quick example
 //!
@@ -30,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub use darwin_core as darwin;
+pub use dg_campaign as campaign;
 pub use dg_cloudsim as cloudsim;
 pub use dg_stats as stats;
 pub use dg_tuners as tuners;
@@ -40,6 +42,10 @@ pub mod prelude {
     pub use darwin_core::{
         AblationConfig, DarwinGame, HybridDarwinGame, TournamentConfig, TournamentReport,
     };
+    pub use dg_campaign::{
+        register_darwin_variant, standard_registry, Campaign, CampaignReport, CampaignSpec,
+        ExperimentScale,
+    };
     pub use dg_cloudsim::{
         CloudEnvironment, DedicatedEnvironment, ExecutionSpec, InterferenceProfile, SimRng,
         SimTime, VmType,
@@ -47,7 +53,7 @@ pub mod prelude {
     pub use dg_stats::{coefficient_of_variation, mean, EmpiricalCdf, Summary};
     pub use dg_tuners::{
         ActiveHarmony, Bliss, ExhaustiveSearch, OpenTuner, OracleTuner, RandomSearch, Tuner,
-        TuningBudget, TuningOutcome,
+        TunerRegistry, TuningBudget, TuningOutcome,
     };
     pub use dg_workloads::{Application, ParameterSpace, Workload};
 }

@@ -1,0 +1,73 @@
+//! Golden-seed regression tests.
+//!
+//! The full tournament pipeline — region partitioning, Swiss regionals, double
+//! elimination, barrage playoffs, and every RNG stream feeding them — is pinned here
+//! for three fixed seeds at two region counts. Any accidental change to the RNG
+//! discipline, the game ordering, or the cost accounting moves at least one of the
+//! pinned values and fails this suite loudly; an *intentional* change must regenerate
+//! the constants (the tuple layout below is exactly what a regeneration run prints).
+//!
+//! The values were generated with the committed simulator sources on x86-64
+//! Linux/glibc (the CI platform); debug and release builds produce identical results
+//! there. The pipeline does call libm transcendentals (`cos`, `ln`, `powf`), which are
+//! not guaranteed correctly rounded, so a different platform's libm could shift results
+//! by ULPs — if this suite fails on an otherwise unchanged tree on a new platform,
+//! regenerate the constants there rather than assuming a regression.
+
+use darwingame::prelude::*;
+
+/// `(regions, seed, champion, games_played, core_hours)` for the pinned configuration.
+const GOLDEN: [(usize, u64, u64, usize, f64); 6] = [
+    (8, 1, 4185, 40, 162.029215441),
+    (8, 2, 8126, 40, 138.819437300),
+    (8, 3, 4622, 33, 110.176233414),
+    (16, 1, 1454, 81, 443.205484864),
+    (16, 2, 1030, 71, 256.858537961),
+    (16, 3, 193, 65, 247.513955105),
+];
+
+fn run_pinned(regions: usize, seed: u64) -> TournamentReport {
+    let workload = Workload::scaled(Application::Redis, 10_000);
+    let mut config = TournamentConfig::scaled(regions, seed);
+    config.players_per_game = Some(8);
+    config.max_regional_rounds = 4;
+    config.parallel_regions = false;
+    let mut cloud = CloudEnvironment::new(
+        VmType::M5_8xlarge,
+        InterferenceProfile::typical(),
+        1000 + seed * 10 + regions as u64,
+    );
+    DarwinGame::new(config).run(&workload, &mut cloud)
+}
+
+#[test]
+fn tournament_outputs_match_golden_values() {
+    for (regions, seed, champion, games, core_hours) in GOLDEN {
+        let report = run_pinned(regions, seed);
+        let label = format!("regions {regions}, seed {seed}");
+        assert_eq!(
+            report.champion, champion,
+            "{label}: champion drifted — the RNG stream or game ordering changed"
+        );
+        assert_eq!(
+            report.games_played, games,
+            "{label}: game count drifted — the tournament structure changed"
+        );
+        assert!(
+            (report.core_hours - core_hours).abs() < 1e-6,
+            "{label}: core-hours drifted from {core_hours} to {}",
+            report.core_hours
+        );
+    }
+}
+
+#[test]
+fn golden_runs_are_reproducible_within_a_process() {
+    // The pinned values above also guard against cross-run drift; this guards against
+    // hidden global state inside one process (statics, caches keyed on first use).
+    let first = run_pinned(8, 1);
+    let second = run_pinned(8, 1);
+    assert_eq!(first.champion, second.champion);
+    assert_eq!(first.games_played, second.games_played);
+    assert_eq!(first.core_hours.to_bits(), second.core_hours.to_bits());
+}
