@@ -2,13 +2,18 @@
 //!
 //! The Redis workload is tuned with DarwinGame on every VM type of the paper's sweep
 //! (m5.large … m5.24xlarge, c5.9xlarge, r5.8xlarge, i3.8xlarge), two seeds per VM — a
-//! 16-cell campaign. The sweep runs twice: once on a single worker (the serial loop this
-//! bench used to hand-roll) and once on all cores, demonstrating both the parallel
-//! speed-up and that the two reports are byte-identical.
+//! 16-cell campaign. The sweep runs three ways: once on a single worker (the serial
+//! loop this bench used to hand-roll), once on all cores, and once *sharded* (K ∈ {2, 4}
+//! shards run independently, round-tripped through the shard-report JSON wire format,
+//! then merged) — demonstrating the parallel speed-up and that all reports are
+//! byte-identical.
 //!
 //! Run with `cargo bench --bench fig15_vm_sweep`.
 
-use dg_campaign::{default_workers, Campaign, CampaignSpec, ExperimentScale};
+use dg_campaign::{
+    default_workers, Campaign, CampaignReport, CampaignSpec, ExperimentScale, ShardPlan,
+    ShardReport, ShardStrategy,
+};
 use dg_cloudsim::VmType;
 use dg_stats::{Column, Table};
 use dg_tuners::OracleTuner;
@@ -61,6 +66,36 @@ fn main() {
         parallel_elapsed.as_secs_f64(),
         serial_elapsed.as_secs_f64() / parallel_elapsed.as_secs_f64().max(1e-9)
     );
+
+    // The sharded variant: split the same 16-cell grid into K independent shard runs
+    // (each round-tripped through the canonical shard-report JSON, the way real shard
+    // processes hand results around), merge, and demand byte-identity with the serial
+    // report.
+    for (shards, strategy) in [
+        (2, ShardStrategy::Contiguous),
+        (4, ShardStrategy::CostBalanced),
+    ] {
+        let plan = ShardPlan::new(campaign.spec(), shards, strategy);
+        let sharded_start = Instant::now();
+        let reports: Vec<ShardReport> = (0..plan.shard_count())
+            .map(|shard| {
+                let report = campaign.run_shard_with_workers(&plan, shard, workers.max(1));
+                ShardReport::from_json(&report.to_json()).expect("canonical round trip")
+            })
+            .collect();
+        let merged = CampaignReport::merge(reports).expect("plan shards merge");
+        let sharded_elapsed = sharded_start.elapsed();
+        assert_eq!(
+            merged.to_json(),
+            serial_report.to_json(),
+            "{shards}-shard ({strategy}) merged report must be byte-identical to the serial run"
+        );
+        println!(
+            "sharded (K={shards}, {strategy}): {:>8.2} s  (merged report byte-identical)",
+            sharded_elapsed.as_secs_f64()
+        );
+    }
+    println!();
 
     let mut table = Table::new(vec![
         Column::left("VM type"),

@@ -13,6 +13,7 @@
 
 use crate::report::{CampaignReport, CellResult};
 use crate::scale::ExperimentScale;
+use crate::shard::{ShardPlan, ShardReport};
 use crate::spec::{profile_label, CampaignSpec, CellCoord};
 use darwin_core::{AblationConfig, DarwinGame, TournamentConfig};
 use dg_cloudsim::CloudEnvironment;
@@ -119,8 +120,80 @@ impl Campaign {
     ///
     /// Panics if `workers == 0`.
     pub fn run_with_workers(&self, workers: usize) -> CampaignReport {
-        assert!(workers > 0, "at least one worker is required");
         let cells = self.spec.cells();
+        let scheduled = cells.len();
+        let (completed, stopped) = self.execute(&cells, workers);
+        // The cap may trip on the very last scheduled cell; that run is complete, not
+        // truncated, so `budget_exhausted` additionally requires unfinished cells.
+        let budget_exhausted = stopped && completed.len() < scheduled;
+        CampaignReport::from_cells(
+            self.spec.name.clone(),
+            self.spec.grid_size(),
+            scheduled,
+            budget_exhausted,
+            completed,
+        )
+    }
+
+    /// Runs one shard of a sharded campaign on one worker per available CPU.
+    ///
+    /// See [`run_shard_with_workers`](Self::run_shard_with_workers).
+    pub fn run_shard(&self, plan: &ShardPlan, shard: usize) -> ShardReport {
+        self.run_shard_with_workers(plan, shard, default_workers())
+    }
+
+    /// Runs exactly the cells `plan` assigns to `shard`, on `workers` threads, and
+    /// returns the [`ShardReport`] the merging process consumes.
+    ///
+    /// Each cell derives every RNG stream from its stable grid index, so the per-cell
+    /// results are identical to what a whole-campaign run would have produced for the
+    /// same indices — [`CampaignReport::merge`] exploits that to reassemble a report
+    /// that is byte-identical to the single-host one. A `max_core_hours` cap applies
+    /// *per shard process* in a sharded run (each process only sees its own spend).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`, if `shard` is out of range, or if `plan` was built
+    /// from a spec with a different [`fingerprint`](CampaignSpec::fingerprint) than
+    /// this campaign's.
+    pub fn run_shard_with_workers(
+        &self,
+        plan: &ShardPlan,
+        shard: usize,
+        workers: usize,
+    ) -> ShardReport {
+        assert_eq!(
+            plan.fingerprint(),
+            self.spec.fingerprint(),
+            "shard plan was built from a different campaign spec"
+        );
+        let all = self.spec.cells();
+        let indices = plan.indices(shard);
+        let cells: Vec<CellCoord> = indices.iter().map(|i| all[*i].clone()).collect();
+        let (completed, stopped) = self.execute(&cells, workers);
+        ShardReport {
+            campaign: self.spec.name.clone(),
+            fingerprint: plan.fingerprint(),
+            shard,
+            shard_count: plan.shard_count(),
+            strategy: plan.strategy().name().to_string(),
+            grid_cells: self.spec.grid_size(),
+            scheduled_cells: plan.scheduled_cells(),
+            assigned: indices.to_vec(),
+            budget_exhausted: stopped && completed.len() < indices.len(),
+            cells: completed,
+        }
+    }
+
+    /// The shared worker pool: runs `cells` (any subset of the grid, in any order)
+    /// across `workers` threads and returns the completed results in the same order as
+    /// `cells`, plus whether the `max_core_hours` cap tripped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    fn execute(&self, cells: &[CellCoord], workers: usize) -> (Vec<CellResult>, bool) {
+        assert!(workers > 0, "at least one worker is required");
         let scheduled = cells.len();
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
@@ -169,16 +242,7 @@ impl Campaign {
             .into_iter()
             .filter_map(|slot| slot.into_inner().expect("cell slot poisoned"))
             .collect();
-        // The cap may trip on the very last scheduled cell; that run is complete, not
-        // truncated, so `budget_exhausted` additionally requires unfinished cells.
-        let budget_exhausted = stop.load(Ordering::SeqCst) && completed.len() < scheduled;
-        CampaignReport::from_cells(
-            self.spec.name.clone(),
-            self.spec.grid_size(),
-            scheduled,
-            budget_exhausted,
-            completed,
-        )
+        (completed, stop.load(Ordering::SeqCst))
     }
 }
 
@@ -288,6 +352,31 @@ mod tests {
         );
         assert_eq!(report.cells[0].tuner, "A");
         assert_eq!(report.cells[1].tuner, "B");
+    }
+
+    #[test]
+    fn shard_runs_cover_the_whole_grid() {
+        use crate::shard::{ShardPlan, ShardStrategy};
+        let campaign = Campaign::new(smoke_spec());
+        let plan = ShardPlan::new(campaign.spec(), 2, ShardStrategy::Strided);
+        let a = campaign.run_shard_with_workers(&plan, 0, 1);
+        let b = campaign.run_shard_with_workers(&plan, 1, 1);
+        assert_eq!(a.cells.len() + b.cells.len(), 2);
+        assert!(!a.budget_exhausted && !b.budget_exhausted);
+        let merged = CampaignReport::merge(vec![b, a]).expect("shards merge");
+        let whole = campaign.run_with_workers(1);
+        assert_eq!(merged.to_json(), whole.to_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "different campaign spec")]
+    fn shard_plan_from_another_spec_rejected() {
+        use crate::shard::{ShardPlan, ShardStrategy};
+        let campaign = Campaign::new(smoke_spec());
+        let mut other = smoke_spec();
+        other.base_seed = 99;
+        let plan = ShardPlan::new(&other, 2, ShardStrategy::Contiguous);
+        let _ = campaign.run_shard_with_workers(&plan, 0, 1);
     }
 
     #[test]

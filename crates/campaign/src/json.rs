@@ -1,10 +1,17 @@
-//! Canonical JSON emission.
+//! Canonical JSON emission and parsing.
 //!
 //! The vendored `serde` is a no-op shim (see `vendor/README.md`), so campaign reports
 //! serialize through this small hand-rolled writer instead. The output is *canonical*:
 //! fixed key order, no whitespace, and floats rendered with Rust's shortest-round-trip
 //! `Display` — so two reports with identical contents produce byte-identical strings,
 //! which the campaign determinism tests (1 worker vs N workers) rely on.
+//!
+//! Sharded campaigns also need the reverse direction: shard processes hand their
+//! results to the merging process as JSON files, so [`parse`] implements a minimal
+//! recursive-descent JSON reader. Numbers keep their **raw token** ([`JsonValue::
+//! Number`]) instead of being eagerly converted, so integer fields parse exactly
+//! (`u64` seeds above 2^53 survive) and float fields round-trip bit for bit through
+//! Rust's shortest-round-trip rendering.
 
 use std::fmt::Write as _;
 
@@ -49,6 +56,303 @@ pub(crate) fn push_key(out: &mut String, first: &mut bool, key: &str) {
     out.push(':');
 }
 
+/// A parsed JSON value. Object keys keep their document order; numbers keep their raw
+/// token so callers decide the target type without precision loss.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its raw token (e.g. `"245.3"`, `"18446744073709551615"`).
+    Number(String),
+    /// A string (escapes already resolved).
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up `key` in an object; `None` for missing keys or non-objects.
+    pub(crate) fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub(crate) fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The raw number token, if this is a number.
+    pub(crate) fn number_token(&self) -> Option<&str> {
+        match self {
+            JsonValue::Number(token) => Some(token),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub(crate) fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Maximum container nesting the parser accepts. Canonical reports need depth 3; the
+/// limit exists so a corrupt or hostile document (`[[[[...`) returns an error instead
+/// of overflowing the stack of the merging process.
+const MAX_DEPTH: usize = 64;
+
+/// Parses one JSON document. Returns a description of the first syntax error (with a
+/// byte offset) on malformed input.
+pub(crate) fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!(
+            "trailing characters after JSON document at byte {}",
+            parser.pos
+        ));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.nested(Self::parse_object),
+            Some(b'[') => self.nested(Self::parse_array),
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(format!(
+                "unexpected character {:?} at byte {}",
+                other as char, self.pos
+            )),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn nested(
+        &mut self,
+        body: fn(&mut Self) -> Result<JsonValue, String>,
+    ) -> Result<JsonValue, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let result = body(self);
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number tokens are ASCII")
+            .to_string();
+        // Validate the token now so downstream field conversions only have to handle
+        // target-type range errors, not syntax.
+        if token.parse::<f64>().is_err() {
+            return Err(format!("invalid number {token:?} at byte {start}"));
+        }
+        Ok(JsonValue::Number(token))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            let hex_start = self.pos + 1;
+                            let hex = self
+                                .bytes
+                                .get(hex_start..hex_start + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("invalid \\u escape {hex:?}"))?;
+                            // The writer only emits \u for control characters, so
+                            // surrogate pairs never appear in canonical reports.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid code point {code:#x}"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!("invalid escape {other:?} at byte {}", self.pos))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(byte) => {
+                    // Consume one full UTF-8 character. The input is a &str, so
+                    // boundaries are valid by construction; the leading byte gives the
+                    // sequence length, keeping this O(1) per character.
+                    let len = match byte {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let c = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
+                        .expect("input is a &str, so char boundaries are valid")
+                        .chars()
+                        .next()
+                        .expect("non-empty slice");
+                    out.push(c);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +392,73 @@ mod tests {
         out.push('2');
         out.push('}');
         assert_eq!(out, r#"{"a":1,"b":2}"#);
+    }
+
+    #[test]
+    fn parser_round_trips_canonical_documents() {
+        let doc = r#"{"name":"a\"b","n":-3.25,"flags":[true,false,null],"nested":{"x":18446744073709551615}}"#;
+        let value = parse(doc).expect("valid document");
+        assert_eq!(value.get("name").and_then(JsonValue::as_str), Some("a\"b"));
+        assert_eq!(
+            value.get("n").and_then(JsonValue::number_token),
+            Some("-3.25")
+        );
+        let flags = value.get("flags").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(flags[0].as_bool(), Some(true));
+        assert_eq!(flags[2], JsonValue::Null);
+        assert_eq!(
+            value
+                .get("nested")
+                .and_then(|n| n.get("x"))
+                .and_then(JsonValue::number_token)
+                .map(str::parse::<u64>),
+            Some(Ok(u64::MAX)),
+            "u64 values above 2^53 must survive parsing exactly"
+        );
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_empty_containers() {
+        let value = parse(" { \"a\" : [ ] , \"b\" : { } } ").expect("valid");
+        assert_eq!(value.get("a"), Some(&JsonValue::Array(Vec::new())));
+        assert_eq!(value.get("b"), Some(&JsonValue::Object(Vec::new())));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "{\"a\":1} x", "1.2.3"] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_pathological_nesting_instead_of_overflowing() {
+        let hostile = "[".repeat(100_000);
+        let err = parse(&hostile).expect_err("deep nesting must be rejected");
+        assert!(err.contains("nesting deeper than"), "got {err}");
+
+        // Realistic nesting stays well within the limit.
+        let legal = format!("{}1{}", "[".repeat(32), "]".repeat(32));
+        assert!(parse(&legal).is_ok());
+    }
+
+    #[test]
+    fn multibyte_characters_survive_string_parsing() {
+        let value = parse("{\"k\":\"héllo → 🌍\"}").expect("valid");
+        assert_eq!(
+            value.get("k").and_then(JsonValue::as_str),
+            Some("héllo → 🌍")
+        );
+    }
+
+    #[test]
+    fn parsed_floats_round_trip_bit_for_bit() {
+        for value in [245.3, 0.1 + 0.2, f64::MIN_POSITIVE, 1e300, -0.0] {
+            let mut out = String::new();
+            push_f64(&mut out, value);
+            let parsed = parse(&out).expect("number parses");
+            let token = parsed.number_token().expect("is a number");
+            assert_eq!(token.parse::<f64>().unwrap().to_bits(), value.to_bits());
+        }
     }
 }

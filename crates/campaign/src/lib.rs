@@ -16,7 +16,12 @@
 //! * results stream into `dg-stats` online accumulators per `(tuner, application, vm,
 //!   profile)` group and land in a [`CampaignReport`] with canonical JSON emission
 //!   ([`CampaignReport::to_json`]) and a compact text summary
-//!   ([`CampaignReport::summary_table`]).
+//!   ([`CampaignReport::summary_table`]);
+//! * campaigns also shard across OS processes or hosts: a [`ShardPlan`] deterministically
+//!   partitions the cell index space, [`Campaign::run_shard`] produces a [`ShardReport`]
+//!   (canonical JSON in both directions), and [`CampaignReport::merge`] reassembles the
+//!   shards into a report byte-identical to a single-host run (see the [`shard`
+//!   module](crate::ShardPlan) docs).
 //!
 //! # Quick example
 //!
@@ -37,9 +42,11 @@ mod executor;
 mod json;
 mod report;
 mod scale;
+mod shard;
 mod spec;
 
 pub use executor::{default_workers, register_darwin_variant, standard_registry, Campaign};
 pub use report::{CampaignReport, CellResult, GroupSummary};
 pub use scale::ExperimentScale;
+pub use shard::{MergeError, ShardParseError, ShardPlan, ShardReport, ShardStrategy};
 pub use spec::{profile_label, CampaignSpec, CellCoord};

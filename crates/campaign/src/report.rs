@@ -41,7 +41,7 @@ impl CellResult {
         (&self.tuner, &self.application, &self.vm, &self.profile)
     }
 
-    fn to_json(&self, out: &mut String) {
+    pub(crate) fn to_json(&self, out: &mut String) {
         out.push('{');
         let mut first = true;
         push_key(out, &mut first, "index");

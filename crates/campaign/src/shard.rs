@@ -1,0 +1,956 @@
+//! Distributed campaign sharding: partition a campaign grid across processes/hosts and
+//! merge the per-shard results back into one report.
+//!
+//! PR 2's executor saturates one host; the paper-scale grids (tuners × apps × VMs ×
+//! profiles × seeds) want sweeps that span hosts, the way ExpoCloud distributes
+//! parameter-space exploration across cloud workers. Cells are independent and derive
+//! every RNG stream from their stable grid index, so the protocol is small:
+//!
+//! 1. every participant builds the same [`ShardPlan`] from the shared
+//!    [`CampaignSpec`] — a deterministic partition of the scheduled cell indices into
+//!    `K` shards under a [`ShardStrategy`];
+//! 2. shard `k` runs its slice ([`Campaign::run_shard`](crate::Campaign::run_shard))
+//!    and emits a [`ShardReport`] as canonical JSON (a file, a blob, a message — any
+//!    byte transport works);
+//! 3. one process parses the K reports ([`ShardReport::from_json`]) and calls
+//!    [`CampaignReport::merge`], which validates compatibility (spec fingerprints,
+//!    disjoint exhaustive coverage), reassembles cells in stable grid order, and
+//!    recomputes the group aggregates through the same streamed `dg-stats`
+//!    accumulators the single-host path uses.
+//!
+//! Because every cell's result is a pure function of the spec and its grid index, the
+//! merged report is **byte-identical** to the report a single host would have produced
+//! (`cargo bench --bench fig15_vm_sweep` and `crates/campaign/tests/sharding.rs` pin
+//! this). Incompatible inputs — overlapping shards, missing shards, reports from a
+//! different spec — are rejected with typed [`MergeError`]s instead of corrupting the
+//! output.
+
+use crate::json::{self, push_key, push_str_literal, JsonValue};
+use crate::report::{CampaignReport, CellResult};
+use crate::spec::CampaignSpec;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// How a [`ShardPlan`] distributes cell indices across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Balanced contiguous index ranges (shard sizes differ by at most one cell).
+    /// Best cache/locality story when neighbouring cells share workload surfaces.
+    Contiguous,
+    /// Round-robin: shard `k` takes every index `i` with `i % K == k`. Spreads any
+    /// axis-correlated cost gradient evenly without needing a cost model.
+    Strided,
+    /// Greedy longest-processing-time balancing on per-cell cost estimates (the
+    /// tuner's evaluation budget, [`CampaignSpec::budget_for`]): cells are assigned,
+    /// most expensive first, to the currently cheapest shard. Guarantees no shard
+    /// exceeds `total/K + max_cell` estimated cost.
+    CostBalanced,
+}
+
+impl ShardStrategy {
+    /// Every strategy, in a stable order (useful for sweeps and property tests).
+    pub const ALL: [ShardStrategy; 3] = [
+        ShardStrategy::Contiguous,
+        ShardStrategy::Strided,
+        ShardStrategy::CostBalanced,
+    ];
+
+    /// The canonical lowercase name used in shard-report JSON and CLI arguments.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardStrategy::Contiguous => "contiguous",
+            ShardStrategy::Strided => "strided",
+            ShardStrategy::CostBalanced => "cost-balanced",
+        }
+    }
+
+    /// Parses a canonical name back into a strategy.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl fmt::Display for ShardStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A deterministic partition of a campaign's scheduled cell indices into `K` shards.
+///
+/// The plan is a pure function of `(spec, K, strategy)`: every participant in a
+/// distributed run rebuilds it locally and gets the same assignment, so no coordinator
+/// is needed. Shards disjointly cover the scheduled index space `0..scheduled_cells`
+/// (some shards may be empty when `K` exceeds the cell count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    fingerprint: u64,
+    strategy: ShardStrategy,
+    grid_cells: usize,
+    scheduled_cells: usize,
+    assignments: Vec<Vec<usize>>,
+    costs: Vec<u64>,
+}
+
+impl ShardPlan {
+    /// Builds the plan for `spec` split into `shards` parts under `strategy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or the spec is invalid.
+    pub fn new(spec: &CampaignSpec, shards: usize, strategy: ShardStrategy) -> Self {
+        assert!(shards > 0, "a shard plan needs at least one shard");
+        spec.validate();
+        let cells = spec.cells();
+        let scheduled = cells.len();
+        let cell_costs: Vec<u64> = cells
+            .iter()
+            .map(|cell| spec.budget_for(&cell.tuner) as u64)
+            .collect();
+
+        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        match strategy {
+            ShardStrategy::Contiguous => {
+                // Balanced contiguous ranges, same arithmetic as the workloads crate's
+                // `IndexPartition` but tolerating more shards than cells (trailing
+                // shards simply stay empty).
+                let base = scheduled / shards;
+                let remainder = scheduled % shards;
+                for (shard, assignment) in assignments.iter_mut().enumerate() {
+                    let start = shard * base + shard.min(remainder);
+                    let len = base + usize::from(shard < remainder);
+                    assignment.extend(start..start + len);
+                }
+            }
+            ShardStrategy::Strided => {
+                for index in 0..scheduled {
+                    assignments[index % shards].push(index);
+                }
+            }
+            ShardStrategy::CostBalanced => {
+                // Greedy LPT: most expensive cells first, each onto the currently
+                // cheapest shard; ties break on the lower index/shard id so the plan
+                // is deterministic.
+                let mut order: Vec<usize> = (0..scheduled).collect();
+                order.sort_by_key(|i| (std::cmp::Reverse(cell_costs[*i]), *i));
+                let mut loads = vec![0u64; shards];
+                for index in order {
+                    let target = (0..shards)
+                        .min_by_key(|s| (loads[*s], *s))
+                        .expect("shards > 0");
+                    loads[target] += cell_costs[index];
+                    assignments[target].push(index);
+                }
+                for assignment in &mut assignments {
+                    assignment.sort_unstable();
+                }
+            }
+        }
+
+        let costs = assignments
+            .iter()
+            .map(|assignment| assignment.iter().map(|i| cell_costs[*i]).sum())
+            .collect();
+        Self {
+            fingerprint: spec.fingerprint(),
+            strategy,
+            grid_cells: spec.grid_size(),
+            scheduled_cells: scheduled,
+            assignments,
+            costs,
+        }
+    }
+
+    /// Number of shards in the plan.
+    pub fn shard_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Fingerprint of the spec the plan was built from ([`CampaignSpec::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The assignment strategy.
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// Number of scheduled cells the plan covers (after any `max_cells` cap).
+    pub fn scheduled_cells(&self) -> usize {
+        self.scheduled_cells
+    }
+
+    /// Size of the full cross-product grid.
+    pub fn grid_cells(&self) -> usize {
+        self.grid_cells
+    }
+
+    /// The cell indices assigned to `shard`, in ascending (grid) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn indices(&self, shard: usize) -> &[usize] {
+        assert!(
+            shard < self.assignments.len(),
+            "shard {shard} out of range (plan has {} shards)",
+            self.assignments.len()
+        );
+        &self.assignments[shard]
+    }
+
+    /// Estimated cost of `shard` (summed per-cell tuner evaluation budgets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn estimated_cost(&self, shard: usize) -> u64 {
+        assert!(shard < self.costs.len(), "shard {shard} out of range");
+        self.costs[shard]
+    }
+}
+
+/// The result of running one shard of a campaign: the completed cells plus everything
+/// the merge needs to validate compatibility and coverage.
+///
+/// Serializes to canonical JSON ([`to_json`](Self::to_json)) and parses back
+/// losslessly ([`from_json`](Self::from_json)), so OS processes (or hosts) can hand
+/// reports around as plain files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Campaign name, from the spec.
+    pub campaign: String,
+    /// Fingerprint of the producing spec ([`CampaignSpec::fingerprint`]).
+    pub fingerprint: u64,
+    /// This shard's index, `0..shard_count`.
+    pub shard: usize,
+    /// Total number of shards in the plan.
+    pub shard_count: usize,
+    /// Canonical name of the plan's [`ShardStrategy`].
+    pub strategy: String,
+    /// Size of the full cross-product grid.
+    pub grid_cells: usize,
+    /// Scheduled cells of the *whole* campaign (after `max_cells`).
+    pub scheduled_cells: usize,
+    /// The cell indices this shard was assigned, ascending.
+    pub assigned: Vec<usize>,
+    /// True when this shard's `max_core_hours` cap stopped it before every assigned
+    /// cell ran (the cap is per-shard in a sharded run).
+    pub budget_exhausted: bool,
+    /// The completed cells, in stable grid order.
+    pub cells: Vec<CellResult>,
+}
+
+impl ShardReport {
+    /// Canonical JSON serialization: fixed key order, no whitespace,
+    /// shortest-round-trip floats; the fingerprint is rendered as a fixed-width hex
+    /// string so it never loses precision in number-typed JSON readers.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.cells.len() * 256);
+        out.push('{');
+        let mut first = true;
+        push_key(&mut out, &mut first, "campaign");
+        push_str_literal(&mut out, &self.campaign);
+        push_key(&mut out, &mut first, "fingerprint");
+        push_str_literal(&mut out, &format!("{:016x}", self.fingerprint));
+        push_key(&mut out, &mut first, "shard");
+        let _ = write!(out, "{}", self.shard);
+        push_key(&mut out, &mut first, "shard_count");
+        let _ = write!(out, "{}", self.shard_count);
+        push_key(&mut out, &mut first, "strategy");
+        push_str_literal(&mut out, &self.strategy);
+        push_key(&mut out, &mut first, "grid_cells");
+        let _ = write!(out, "{}", self.grid_cells);
+        push_key(&mut out, &mut first, "scheduled_cells");
+        let _ = write!(out, "{}", self.scheduled_cells);
+        push_key(&mut out, &mut first, "assigned");
+        out.push('[');
+        for (i, index) in self.assigned.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{index}");
+        }
+        out.push(']');
+        push_key(&mut out, &mut first, "budget_exhausted");
+        out.push_str(if self.budget_exhausted {
+            "true"
+        } else {
+            "false"
+        });
+        push_key(&mut out, &mut first, "cells");
+        out.push('[');
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            cell.to_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a shard report from its canonical JSON form.
+    ///
+    /// The round trip is lossless: `ShardReport::from_json(&r.to_json()) == r` for
+    /// every finite-valued report (non-finite floats serialize to `null` and come back
+    /// as NaN, matching [`CampaignReport::to_json`]'s convention).
+    pub fn from_json(text: &str) -> Result<Self, ShardParseError> {
+        let root = json::parse(text).map_err(ShardParseError::new)?;
+        let assigned = array_field(&root, "assigned")?
+            .iter()
+            .map(|v| number_as::<usize>(v, "assigned[]"))
+            .collect::<Result<Vec<usize>, _>>()?;
+        let cells = array_field(&root, "cells")?
+            .iter()
+            .map(parse_cell)
+            .collect::<Result<Vec<CellResult>, _>>()?;
+        let fingerprint_hex = str_field(&root, "fingerprint")?;
+        let fingerprint = u64::from_str_radix(&fingerprint_hex, 16).map_err(|_| {
+            ShardParseError::new(format!("invalid fingerprint {fingerprint_hex:?}"))
+        })?;
+        Ok(Self {
+            campaign: str_field(&root, "campaign")?,
+            fingerprint,
+            shard: number_field(&root, "shard")?,
+            shard_count: number_field(&root, "shard_count")?,
+            strategy: str_field(&root, "strategy")?,
+            grid_cells: number_field(&root, "grid_cells")?,
+            scheduled_cells: number_field(&root, "scheduled_cells")?,
+            assigned,
+            budget_exhausted: bool_field(&root, "budget_exhausted")?,
+            cells,
+        })
+    }
+}
+
+/// A malformed shard-report document (syntax error, missing field, wrong type).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardParseError {
+    message: String,
+}
+
+impl ShardParseError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShardParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid shard report: {}", self.message)
+    }
+}
+
+impl std::error::Error for ShardParseError {}
+
+fn field<'a>(root: &'a JsonValue, key: &str) -> Result<&'a JsonValue, ShardParseError> {
+    root.get(key)
+        .ok_or_else(|| ShardParseError::new(format!("missing field {key:?}")))
+}
+
+fn str_field(root: &JsonValue, key: &str) -> Result<String, ShardParseError> {
+    field(root, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| ShardParseError::new(format!("field {key:?} is not a string")))
+}
+
+fn bool_field(root: &JsonValue, key: &str) -> Result<bool, ShardParseError> {
+    field(root, key)?
+        .as_bool()
+        .ok_or_else(|| ShardParseError::new(format!("field {key:?} is not a boolean")))
+}
+
+fn array_field<'a>(root: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], ShardParseError> {
+    field(root, key)?
+        .as_array()
+        .ok_or_else(|| ShardParseError::new(format!("field {key:?} is not an array")))
+}
+
+fn number_as<T: std::str::FromStr>(value: &JsonValue, context: &str) -> Result<T, ShardParseError> {
+    value
+        .number_token()
+        .and_then(|token| token.parse::<T>().ok())
+        .ok_or_else(|| ShardParseError::new(format!("field {context:?} is not a valid number")))
+}
+
+fn number_field<T: std::str::FromStr>(root: &JsonValue, key: &str) -> Result<T, ShardParseError> {
+    number_as(field(root, key)?, key)
+}
+
+/// Floats may legitimately be `null` (the writer's encoding of non-finite values).
+fn f64_field(root: &JsonValue, key: &str) -> Result<f64, ShardParseError> {
+    match field(root, key)? {
+        JsonValue::Null => Ok(f64::NAN),
+        value => number_as::<f64>(value, key),
+    }
+}
+
+fn parse_cell(value: &JsonValue) -> Result<CellResult, ShardParseError> {
+    Ok(CellResult {
+        index: number_field(value, "index")?,
+        tuner: str_field(value, "tuner")?,
+        application: str_field(value, "application")?,
+        vm: str_field(value, "vm")?,
+        profile: str_field(value, "profile")?,
+        seed: number_field(value, "seed")?,
+        chosen: number_field(value, "chosen")?,
+        mean_time: f64_field(value, "mean_time")?,
+        cov_percent: f64_field(value, "cov_percent")?,
+        samples: number_field(value, "samples")?,
+        core_hours: f64_field(value, "core_hours")?,
+        wall_clock_seconds: f64_field(value, "wall_clock_seconds")?,
+    })
+}
+
+/// Why a set of shard reports cannot be merged into a campaign report.
+///
+/// Every variant is a *rejection*: `merge` never silently drops, deduplicates, or
+/// invents cells — incompatible inputs fail loudly so a distributed run can retry the
+/// offending shard instead of publishing a corrupt report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// No shard reports were supplied.
+    NoShards,
+    /// Two reports disagree on a spec-level field (fingerprint, grid size, shard
+    /// count, strategy, campaign name).
+    SpecMismatch {
+        /// Which field disagreed.
+        field: &'static str,
+        /// The value of the first report.
+        expected: String,
+        /// The conflicting value.
+        found: String,
+    },
+    /// A report's shard index is not below its declared shard count.
+    ShardIndexOutOfRange {
+        /// The offending shard index.
+        shard: usize,
+        /// The declared shard count.
+        shard_count: usize,
+    },
+    /// Two reports claim the same shard index.
+    DuplicateShard {
+        /// The duplicated shard index.
+        shard: usize,
+    },
+    /// Fewer reports than the declared shard count; `shard` is the first absent one.
+    MissingShard {
+        /// The first missing shard index.
+        shard: usize,
+    },
+    /// A cell index is assigned to more than one shard.
+    OverlappingCell {
+        /// The multiply-assigned cell index.
+        index: usize,
+    },
+    /// A scheduled cell index is assigned to no shard.
+    UncoveredCell {
+        /// The unassigned cell index.
+        index: usize,
+    },
+    /// An assigned cell index is outside the scheduled range.
+    CellIndexOutOfRange {
+        /// The offending cell index.
+        index: usize,
+        /// The number of scheduled cells.
+        scheduled_cells: usize,
+    },
+    /// A shard reports a completed cell it was never assigned.
+    ForeignCell {
+        /// The shard reporting the cell.
+        shard: usize,
+        /// The unassigned cell index it reported.
+        index: usize,
+    },
+    /// A shard reports the same completed cell more than once — its report is corrupt
+    /// (and would otherwise mask a dropped cell, since only counts are compared).
+    DuplicateCell {
+        /// The shard reporting the cell.
+        shard: usize,
+        /// The repeated cell index.
+        index: usize,
+    },
+    /// A shard completed fewer cells than assigned without declaring budget
+    /// exhaustion — its report is truncated or corrupt.
+    IncompleteShard {
+        /// The offending shard index.
+        shard: usize,
+        /// How many cells it was assigned.
+        assigned: usize,
+        /// How many it reported complete.
+        completed: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoShards => write!(f, "no shard reports to merge"),
+            MergeError::SpecMismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shard reports disagree on {field}: {expected:?} vs {found:?}"
+            ),
+            MergeError::ShardIndexOutOfRange { shard, shard_count } => {
+                write!(f, "shard index {shard} out of range (count {shard_count})")
+            }
+            MergeError::DuplicateShard { shard } => {
+                write!(f, "shard {shard} appears more than once")
+            }
+            MergeError::MissingShard { shard } => write!(f, "shard {shard} is missing"),
+            MergeError::OverlappingCell { index } => {
+                write!(f, "cell {index} is assigned to more than one shard")
+            }
+            MergeError::UncoveredCell { index } => {
+                write!(f, "cell {index} is assigned to no shard")
+            }
+            MergeError::CellIndexOutOfRange {
+                index,
+                scheduled_cells,
+            } => write!(
+                f,
+                "cell index {index} outside the scheduled range ({scheduled_cells} cells)"
+            ),
+            MergeError::ForeignCell { shard, index } => {
+                write!(
+                    f,
+                    "shard {shard} reports cell {index} it was never assigned"
+                )
+            }
+            MergeError::DuplicateCell { shard, index } => {
+                write!(f, "shard {shard} reports cell {index} more than once")
+            }
+            MergeError::IncompleteShard {
+                shard,
+                assigned,
+                completed,
+            } => write!(
+                f,
+                "shard {shard} completed {completed} of {assigned} assigned cells \
+                 without declaring budget exhaustion"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl CampaignReport {
+    /// Merges the reports of a sharded campaign back into one [`CampaignReport`].
+    ///
+    /// Validates that the reports come from one plan over one spec (fingerprints,
+    /// shard count, strategy), that every shard is present exactly once, and that the
+    /// declared assignments disjointly cover the whole scheduled index space; then
+    /// reassembles the cells in stable grid order and recomputes the per-group
+    /// aggregates through the same streamed `dg-stats` accumulators the single-host
+    /// executor uses. For uncapped campaigns the result is byte-identical (in its
+    /// [`to_json`](Self::to_json) form) to a single-host run of the same spec.
+    ///
+    /// The merged `budget_exhausted` flag is the OR over the shards' flags: a sharded
+    /// campaign ran its `max_core_hours` cap per shard, and any shard stopping early
+    /// means the merged report is missing cells just like a capped single-host run.
+    pub fn merge(shards: Vec<ShardReport>) -> Result<CampaignReport, MergeError> {
+        let first = shards.first().ok_or(MergeError::NoShards)?;
+        let (name, fingerprint) = (first.campaign.clone(), first.fingerprint);
+        let (shard_count, strategy) = (first.shard_count, first.strategy.clone());
+        let (grid_cells, scheduled_cells) = (first.grid_cells, first.scheduled_cells);
+        for shard in &shards {
+            let mismatch =
+                |field: &'static str, expected: &dyn fmt::Display, found: &dyn fmt::Display| {
+                    MergeError::SpecMismatch {
+                        field,
+                        expected: expected.to_string(),
+                        found: found.to_string(),
+                    }
+                };
+            if shard.fingerprint != fingerprint {
+                return Err(mismatch(
+                    "fingerprint",
+                    &format!("{fingerprint:016x}"),
+                    &format!("{:016x}", shard.fingerprint),
+                ));
+            }
+            if shard.campaign != name {
+                return Err(mismatch("campaign", &name, &shard.campaign));
+            }
+            if shard.shard_count != shard_count {
+                return Err(mismatch("shard_count", &shard_count, &shard.shard_count));
+            }
+            if shard.strategy != strategy {
+                return Err(mismatch("strategy", &strategy, &shard.strategy));
+            }
+            if shard.grid_cells != grid_cells {
+                return Err(mismatch("grid_cells", &grid_cells, &shard.grid_cells));
+            }
+            if shard.scheduled_cells != scheduled_cells {
+                return Err(mismatch(
+                    "scheduled_cells",
+                    &scheduled_cells,
+                    &shard.scheduled_cells,
+                ));
+            }
+        }
+
+        // Every shard exactly once.
+        let mut seen_shards = vec![false; shard_count];
+        for shard in &shards {
+            if shard.shard >= shard_count {
+                return Err(MergeError::ShardIndexOutOfRange {
+                    shard: shard.shard,
+                    shard_count,
+                });
+            }
+            if seen_shards[shard.shard] {
+                return Err(MergeError::DuplicateShard { shard: shard.shard });
+            }
+            seen_shards[shard.shard] = true;
+        }
+        if let Some(missing) = seen_shards.iter().position(|present| !present) {
+            return Err(MergeError::MissingShard { shard: missing });
+        }
+
+        // Assignments disjointly cover 0..scheduled_cells.
+        let mut owner: Vec<Option<usize>> = vec![None; scheduled_cells];
+        for shard in &shards {
+            for index in &shard.assigned {
+                if *index >= scheduled_cells {
+                    return Err(MergeError::CellIndexOutOfRange {
+                        index: *index,
+                        scheduled_cells,
+                    });
+                }
+                if owner[*index].is_some() {
+                    return Err(MergeError::OverlappingCell { index: *index });
+                }
+                owner[*index] = Some(shard.shard);
+            }
+        }
+        if let Some(uncovered) = owner.iter().position(Option::is_none) {
+            return Err(MergeError::UncoveredCell { index: uncovered });
+        }
+
+        // Completed cells belong to their shard's assignment, appear at most once
+        // (a duplicate would otherwise mask a dropped cell, since only counts are
+        // compared below), and un-capped shards completed everything they were
+        // assigned.
+        let mut completed_once = vec![false; scheduled_cells];
+        for shard in &shards {
+            for cell in &shard.cells {
+                if cell.index >= scheduled_cells || owner[cell.index] != Some(shard.shard) {
+                    return Err(MergeError::ForeignCell {
+                        shard: shard.shard,
+                        index: cell.index,
+                    });
+                }
+                if completed_once[cell.index] {
+                    return Err(MergeError::DuplicateCell {
+                        shard: shard.shard,
+                        index: cell.index,
+                    });
+                }
+                completed_once[cell.index] = true;
+            }
+            if !shard.budget_exhausted && shard.cells.len() != shard.assigned.len() {
+                return Err(MergeError::IncompleteShard {
+                    shard: shard.shard,
+                    assigned: shard.assigned.len(),
+                    completed: shard.cells.len(),
+                });
+            }
+        }
+
+        let budget_exhausted = shards.iter().any(|shard| shard.budget_exhausted);
+        let mut cells: Vec<CellResult> = shards
+            .into_iter()
+            .flat_map(|shard| shard.cells.into_iter())
+            .collect();
+        cells.sort_by_key(|cell| cell.index);
+        Ok(CampaignReport::from_cells(
+            name,
+            grid_cells,
+            scheduled_cells,
+            budget_exhausted,
+            cells,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExperimentScale;
+
+    fn spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::single("shard-unit", "RandomSearch", 5);
+        spec.tuners = vec!["RandomSearch".into(), "Exhaustive".into()];
+        spec.scale = ExperimentScale::smoke();
+        spec
+    }
+
+    #[test]
+    fn plans_disjointly_cover_the_index_space() {
+        let spec = spec();
+        for strategy in ShardStrategy::ALL {
+            for shards in [1, 2, 3, 7, 15] {
+                let plan = ShardPlan::new(&spec, shards, strategy);
+                let mut seen = vec![false; plan.scheduled_cells()];
+                for shard in 0..plan.shard_count() {
+                    for index in plan.indices(shard) {
+                        assert!(!seen[*index], "{strategy}: cell {index} assigned twice");
+                        seen[*index] = true;
+                    }
+                }
+                assert!(
+                    seen.iter().all(|covered| *covered),
+                    "{strategy}/{shards}: some cell is unassigned"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let spec = spec();
+        for strategy in ShardStrategy::ALL {
+            assert_eq!(
+                ShardPlan::new(&spec, 4, strategy),
+                ShardPlan::new(&spec, 4, strategy)
+            );
+        }
+    }
+
+    #[test]
+    fn strided_assignment_is_round_robin() {
+        let plan = ShardPlan::new(&spec(), 3, ShardStrategy::Strided);
+        assert!(plan.indices(0).iter().all(|i| i % 3 == 0));
+        assert!(plan.indices(1).iter().all(|i| i % 3 == 1));
+        assert!(plan.indices(2).iter().all(|i| i % 3 == 2));
+    }
+
+    #[test]
+    fn cost_balanced_respects_the_lpt_bound() {
+        // Exhaustive's budget dwarfs RandomSearch's, so naive contiguous splitting
+        // would be badly unbalanced; LPT must stay within total/K + max_cell.
+        let spec = spec();
+        let plan = ShardPlan::new(&spec, 3, ShardStrategy::CostBalanced);
+        let total: u64 = (0..plan.shard_count())
+            .map(|s| plan.estimated_cost(s))
+            .sum();
+        let max_cell = spec
+            .cells()
+            .iter()
+            .map(|c| spec.budget_for(&c.tuner) as u64)
+            .max()
+            .unwrap();
+        for shard in 0..plan.shard_count() {
+            assert!(
+                plan.estimated_cost(shard) <= total / 3 + max_cell,
+                "shard {shard} exceeds the LPT bound"
+            );
+        }
+    }
+
+    #[test]
+    fn more_shards_than_cells_leaves_empty_shards() {
+        let mut small = spec();
+        small.tuners = vec!["RandomSearch".into()];
+        small.seeds = vec![0, 1];
+        for strategy in ShardStrategy::ALL {
+            let plan = ShardPlan::new(&small, 5, strategy);
+            let assigned: usize = (0..5).map(|s| plan.indices(s).len()).sum();
+            assert_eq!(assigned, 2);
+        }
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for strategy in ShardStrategy::ALL {
+            assert_eq!(ShardStrategy::from_name(strategy.name()), Some(strategy));
+        }
+        assert_eq!(ShardStrategy::from_name("bogus"), None);
+    }
+
+    fn cell(index: usize) -> CellResult {
+        CellResult {
+            index,
+            tuner: "RandomSearch".into(),
+            application: "Redis".into(),
+            vm: "m5.8xlarge".into(),
+            profile: "typical".into(),
+            seed: index as u64,
+            chosen: 7,
+            mean_time: 100.0 + index as f64,
+            cov_percent: 0.5,
+            samples: 4,
+            core_hours: 1.0,
+            wall_clock_seconds: 60.0,
+        }
+    }
+
+    fn shard_report(shard: usize, shard_count: usize, assigned: Vec<usize>) -> ShardReport {
+        ShardReport {
+            campaign: "shard-unit".into(),
+            fingerprint: 0xfeed,
+            shard,
+            shard_count,
+            strategy: "contiguous".into(),
+            grid_cells: 4,
+            scheduled_cells: 4,
+            cells: assigned.iter().map(|i| cell(*i)).collect(),
+            assigned,
+            budget_exhausted: false,
+        }
+    }
+
+    #[test]
+    fn merge_reassembles_cells_in_grid_order() {
+        let merged = CampaignReport::merge(vec![
+            shard_report(1, 2, vec![1, 3]),
+            shard_report(0, 2, vec![0, 2]),
+        ])
+        .expect("valid shards");
+        let indices: Vec<usize> = merged.cells.iter().map(|c| c.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+        assert_eq!(merged.scheduled_cells, 4);
+        assert!(!merged.budget_exhausted);
+    }
+
+    #[test]
+    fn merge_rejects_empty_input() {
+        assert_eq!(CampaignReport::merge(Vec::new()), Err(MergeError::NoShards));
+    }
+
+    #[test]
+    fn merge_rejects_overlapping_shards() {
+        let result = CampaignReport::merge(vec![
+            shard_report(0, 2, vec![0, 1, 2]),
+            shard_report(1, 2, vec![2, 3]),
+        ]);
+        assert_eq!(result, Err(MergeError::OverlappingCell { index: 2 }));
+    }
+
+    #[test]
+    fn merge_rejects_missing_shards() {
+        let result = CampaignReport::merge(vec![shard_report(0, 2, vec![0, 1])]);
+        assert_eq!(result, Err(MergeError::MissingShard { shard: 1 }));
+    }
+
+    #[test]
+    fn merge_rejects_uncovered_cells() {
+        let result = CampaignReport::merge(vec![
+            shard_report(0, 2, vec![0, 1]),
+            shard_report(1, 2, vec![3]),
+        ]);
+        assert_eq!(result, Err(MergeError::UncoveredCell { index: 2 }));
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_fingerprints() {
+        let mut other = shard_report(1, 2, vec![2, 3]);
+        other.fingerprint = 0xdead;
+        let result = CampaignReport::merge(vec![shard_report(0, 2, vec![0, 1]), other]);
+        assert!(matches!(
+            result,
+            Err(MergeError::SpecMismatch {
+                field: "fingerprint",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_duplicate_shards() {
+        let result = CampaignReport::merge(vec![
+            shard_report(0, 2, vec![0, 1]),
+            shard_report(0, 2, vec![2, 3]),
+        ]);
+        assert_eq!(result, Err(MergeError::DuplicateShard { shard: 0 }));
+    }
+
+    #[test]
+    fn merge_rejects_foreign_cells() {
+        let mut bad = shard_report(1, 2, vec![2, 3]);
+        bad.cells.push(cell(0)); // completed a cell assigned to shard 0
+        let result = CampaignReport::merge(vec![shard_report(0, 2, vec![0, 1]), bad]);
+        assert_eq!(result, Err(MergeError::ForeignCell { shard: 1, index: 0 }));
+    }
+
+    #[test]
+    fn merge_rejects_duplicated_cells_within_a_shard() {
+        // A corrupt shard that lists cell 2 twice and drops cell 3 keeps its cell
+        // *count* consistent with its assignment; only per-index tracking catches it.
+        let mut corrupt = shard_report(1, 2, vec![2, 3]);
+        corrupt.cells = vec![cell(2), cell(2)];
+        let result = CampaignReport::merge(vec![shard_report(0, 2, vec![0, 1]), corrupt]);
+        assert_eq!(
+            result,
+            Err(MergeError::DuplicateCell { shard: 1, index: 2 })
+        );
+    }
+
+    #[test]
+    fn merge_rejects_silently_truncated_shards() {
+        let mut truncated = shard_report(1, 2, vec![2, 3]);
+        truncated.cells.pop();
+        let result = CampaignReport::merge(vec![shard_report(0, 2, vec![0, 1]), truncated]);
+        assert_eq!(
+            result,
+            Err(MergeError::IncompleteShard {
+                shard: 1,
+                assigned: 2,
+                completed: 1
+            })
+        );
+    }
+
+    #[test]
+    fn budget_exhausted_shards_may_be_partial_and_taint_the_merge() {
+        let mut capped = shard_report(1, 2, vec![2, 3]);
+        capped.cells.pop();
+        capped.budget_exhausted = true;
+        let merged = CampaignReport::merge(vec![shard_report(0, 2, vec![0, 1]), capped])
+            .expect("capped shards merge");
+        assert!(merged.budget_exhausted);
+        assert_eq!(merged.completed_cells(), 3);
+    }
+
+    #[test]
+    fn shard_report_json_round_trips() {
+        let mut report = shard_report(1, 3, vec![1, 3]);
+        report.fingerprint = u64::MAX;
+        report.cells[0].mean_time = 0.1 + 0.2; // a value whose shortest form matters
+        report.cells[1].cov_percent = f64::NAN; // serializes to null, parses to NaN
+        let json = report.to_json();
+        let parsed = ShardReport::from_json(&json).expect("own output parses");
+        assert_eq!(parsed.campaign, report.campaign);
+        assert_eq!(parsed.fingerprint, report.fingerprint);
+        assert_eq!(parsed.assigned, report.assigned);
+        assert_eq!(
+            parsed.cells[0].mean_time.to_bits(),
+            report.cells[0].mean_time.to_bits()
+        );
+        assert!(parsed.cells[1].cov_percent.is_nan());
+        // Re-serializing the parsed report reproduces the exact bytes.
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn shard_report_parse_errors_are_typed() {
+        assert!(ShardReport::from_json("not json").is_err());
+        assert!(ShardReport::from_json("{}").is_err());
+        let mut report = shard_report(0, 1, vec![0, 1, 2, 3]);
+        report.strategy = "contiguous".into();
+        let broken = report
+            .to_json()
+            .replace("\"shard\":0", "\"shard\":\"zero\"");
+        assert!(ShardReport::from_json(&broken).is_err());
+    }
+}

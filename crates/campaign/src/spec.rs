@@ -207,6 +207,72 @@ impl CampaignSpec {
         cells
     }
 
+    /// A stable 64-bit fingerprint of the spec: FNV-1a over a canonical textual
+    /// encoding of every field (axes in order, scale, seeds, caps, overrides).
+    ///
+    /// Shard reports carry the fingerprint of the spec they were produced from, and
+    /// [`CampaignReport::merge`](crate::CampaignReport::merge) refuses to combine
+    /// reports whose fingerprints disagree — merging cells from different grids would
+    /// silently corrupt the result. The encoding is independent of process, host, and
+    /// run, so fingerprints are comparable across OS processes and machines.
+    pub fn fingerprint(&self) -> u64 {
+        let mut encoded = String::with_capacity(256);
+        let mut push = |part: &str| {
+            // Length-prefix every part so concatenations can never collide across
+            // field boundaries ("ab"+"c" vs "a"+"bc").
+            encoded.push_str(&format!("{}:{part};", part.len()));
+        };
+        push(&self.name);
+        for tuner in &self.tuners {
+            push(tuner);
+        }
+        push("|apps");
+        for app in &self.applications {
+            push(app.name());
+        }
+        push("|vms");
+        for vm in &self.vm_types {
+            push(vm.name());
+        }
+        push("|profiles");
+        for profile in &self.profiles {
+            push(&profile_label(profile));
+        }
+        push("|seeds");
+        for seed in &self.seeds {
+            push(&format!("{seed}"));
+        }
+        push("|scale");
+        push(&format!(
+            "{},{},{},{},{},{},{},{}",
+            self.scale.space_size,
+            self.scale.regions,
+            self.scale.players_per_game,
+            self.scale.baseline_budget,
+            self.scale.exhaustive_budget,
+            self.scale.evaluation_runs,
+            self.scale.evaluation_spacing.to_bits(),
+            self.scale.tuning_repeats,
+        ));
+        push(&format!("|base_seed:{}", self.base_seed));
+        for (tuner, budget) in &self.budget_overrides {
+            push(&format!("|override:{tuner}={budget}"));
+        }
+        push(&format!("|max_cells:{:?}", self.max_cells));
+        push(&format!(
+            "|max_core_hours:{:?}",
+            self.max_core_hours.map(f64::to_bits)
+        ));
+        push(&format!("|paired:{}", self.paired_tuners));
+
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in encoded.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// The deterministic root seed of cell `index`, derived with the simulator's
     /// [`mix`] so campaigns and single tournaments share one seeding discipline.
     pub fn cell_seed(&self, index: usize) -> u64 {
@@ -339,6 +405,32 @@ mod tests {
             "group keys must distinguish different custom profiles"
         );
         assert_eq!(profile_label(&a), "custom(0.05,0.25,1,0.9)");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let spec = two_by_two();
+        assert_eq!(spec.fingerprint(), two_by_two().fingerprint());
+
+        let mut renamed = two_by_two();
+        renamed.name = "other".into();
+        assert_ne!(spec.fingerprint(), renamed.fingerprint());
+
+        let mut reseeded = two_by_two();
+        reseeded.base_seed ^= 1;
+        assert_ne!(spec.fingerprint(), reseeded.fingerprint());
+
+        let mut rescaled = two_by_two();
+        rescaled.scale.baseline_budget += 1;
+        assert_ne!(spec.fingerprint(), rescaled.fingerprint());
+
+        let mut capped = two_by_two();
+        capped.max_cells = Some(3);
+        assert_ne!(spec.fingerprint(), capped.fingerprint());
+
+        let mut paired = two_by_two();
+        paired.paired_tuners = true;
+        assert_ne!(spec.fingerprint(), paired.fingerprint());
     }
 
     #[test]

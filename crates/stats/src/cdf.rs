@@ -38,6 +38,33 @@ impl EmpiricalCdf {
         Self { sorted }
     }
 
+    /// Merges another CDF into this one (parallel/sharded reduction).
+    ///
+    /// Both sides are already sorted, so this is a linear two-way merge; the result is
+    /// *exactly* the CDF that [`from_samples`](Self::from_samples) would build over the
+    /// concatenated sample sets — the full sample list is kept, so quantiles of merged
+    /// partials equal single-pass quantiles bit for bit.
+    pub fn merge(&mut self, other: &EmpiricalCdf) {
+        if other.sorted.is_empty() {
+            return;
+        }
+        let mine = std::mem::take(&mut self.sorted);
+        let mut merged = Vec::with_capacity(mine.len() + other.sorted.len());
+        let (mut i, mut j) = (0, 0);
+        while i < mine.len() && j < other.sorted.len() {
+            if mine[i] <= other.sorted[j] {
+                merged.push(mine[i]);
+                i += 1;
+            } else {
+                merged.push(other.sorted[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&mine[i..]);
+        merged.extend_from_slice(&other.sorted[j..]);
+        self.sorted = merged;
+    }
+
     /// Number of underlying samples.
     pub fn len(&self) -> usize {
         self.sorted.len()
@@ -174,6 +201,34 @@ mod tests {
         assert_eq!(pts.first().unwrap().0, 2.0);
         assert_eq!(pts.last().unwrap().0, 8.0);
         assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn merge_equals_from_samples_over_concatenation() {
+        let a_samples = [5.0, 1.0, 3.0];
+        let b_samples = [4.0, 2.0, 6.0, 0.5];
+        let mut merged = EmpiricalCdf::from_samples(&a_samples);
+        merged.merge(&EmpiricalCdf::from_samples(&b_samples));
+
+        let mut all: Vec<f64> = a_samples.to_vec();
+        all.extend_from_slice(&b_samples);
+        let whole = EmpiricalCdf::from_samples(&all);
+        assert_eq!(merged, whole);
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(merged.quantile(q).to_bits(), whole.quantile(q).to_bits());
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut cdf = EmpiricalCdf::from_samples(&[1.0, 2.0]);
+        let before = cdf.clone();
+        cdf.merge(&EmpiricalCdf::from_samples(&[]));
+        assert_eq!(cdf, before);
+
+        let mut empty = EmpiricalCdf::from_samples(&[]);
+        empty.merge(&before);
+        assert_eq!(empty, before);
     }
 
     #[test]

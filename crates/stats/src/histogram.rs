@@ -59,6 +59,35 @@ impl Histogram {
         }
     }
 
+    /// Merges another histogram into this one (parallel/sharded reduction).
+    ///
+    /// Because bins are fixed at construction, merging partials built over disjoint
+    /// sample subsets is *exact*: the merged counts equal single-pass accumulation over
+    /// the concatenated samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms differ in range or bin count — partials are only
+    /// mergeable when they were constructed identically.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo.to_bits() == other.lo.to_bits()
+                && self.hi.to_bits() == other.hi.to_bits()
+                && self.counts.len() == other.counts.len(),
+            "histogram merge requires identical range and bin count \
+             (self: [{}, {}] x{}, other: [{}, {}] x{})",
+            self.lo,
+            self.hi,
+            self.counts.len(),
+            other.lo,
+            other.hi,
+            other.counts.len()
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+    }
+
     /// Per-bin counts.
     pub fn counts(&self) -> &[u64] {
         &self.counts
@@ -139,6 +168,47 @@ mod tests {
         h.extend_from_slice(&[1.0, 1.5, 9.0]);
         assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
         assert!((h.fraction(0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_single_pass_accumulation() {
+        let all = [0.5, 1.5, 2.5, 3.5, 4.5, 9.9, -1.0, 12.0];
+        let mut whole = Histogram::new(0.0, 10.0, 5);
+        whole.extend_from_slice(&all);
+
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.extend_from_slice(&all[..3]);
+        b.extend_from_slice(&all[3..]);
+        a.merge(&b);
+        assert_eq!(
+            a, whole,
+            "merged partials must equal the single-pass result"
+        );
+        assert_eq!(a.total(), all.len() as u64);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new(0.0, 10.0, 4);
+        h.extend_from_slice(&[1.0, 2.0, 3.0]);
+        let before = h.clone();
+        h.merge(&Histogram::new(0.0, 10.0, 4));
+        assert_eq!(h, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical range and bin count")]
+    fn merge_with_mismatched_bins_rejected() {
+        let mut a = Histogram::new(0.0, 10.0, 4);
+        a.merge(&Histogram::new(0.0, 10.0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "identical range and bin count")]
+    fn merge_with_mismatched_range_rejected() {
+        let mut a = Histogram::new(0.0, 10.0, 4);
+        a.merge(&Histogram::new(0.0, 20.0, 4));
     }
 
     #[test]

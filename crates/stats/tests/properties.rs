@@ -2,8 +2,21 @@
 //! implementations must agree, quantiles must be monotone, and the coefficient of
 //! variation must not depend on the unit of measurement.
 
-use dg_stats::{coefficient_of_variation, mean, sample_variance, EmpiricalCdf, OnlineStats};
+use dg_stats::{
+    coefficient_of_variation, mean, sample_variance, EmpiricalCdf, Histogram, OnlineStats,
+};
 use proptest::prelude::*;
+
+/// Splits `samples` into `parts` contiguous chunks (some possibly empty), the way a
+/// sharded campaign splits one logical sample stream across processes.
+fn chunked(samples: &[f64], parts: usize) -> Vec<&[f64]> {
+    let per = samples.len().div_ceil(parts).max(1);
+    let mut chunks: Vec<&[f64]> = samples.chunks(per).collect();
+    while chunks.len() < parts {
+        chunks.push(&[]);
+    }
+    chunks
+}
 
 /// Absolute-plus-relative tolerance: `1e-9` scaled by the magnitude of the reference.
 fn close(a: f64, b: f64) -> bool {
@@ -55,6 +68,69 @@ proptest! {
         prop_assert!(close(merged.mean(), mean(&all)));
         prop_assert!(close(merged.variance(), sample_variance(&all)));
         prop_assert_eq!(merged.count(), all.len() as u64);
+    }
+
+    /// Merging K online partials (the sharded-campaign reduction shape) equals
+    /// single-pass accumulation over the concatenated stream, within float tolerance.
+    #[test]
+    fn online_k_way_merge_matches_single_pass(
+        samples in prop::collection::vec(-500.0f64..500.0, 1..128),
+        parts in 2usize..7,
+    ) {
+        let mut merged = OnlineStats::new();
+        for chunk in chunked(&samples, parts) {
+            let mut partial = OnlineStats::new();
+            for sample in chunk {
+                partial.push(*sample);
+            }
+            merged.merge(&partial);
+        }
+        let mut single = OnlineStats::new();
+        for sample in &samples {
+            single.push(*sample);
+        }
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert!(close(merged.mean(), single.mean()));
+        prop_assert!(close(merged.variance(), single.variance()));
+        prop_assert_eq!(merged.min().to_bits(), single.min().to_bits());
+        prop_assert_eq!(merged.max().to_bits(), single.max().to_bits());
+    }
+
+    /// Merging K histogram partials is *exact*: integer bin counts are order-free.
+    #[test]
+    fn histogram_k_way_merge_is_exact(
+        samples in prop::collection::vec(-50.0f64..150.0, 1..128),
+        parts in 2usize..7,
+        bins in 1usize..12,
+    ) {
+        let mut merged = Histogram::new(0.0, 100.0, bins);
+        for chunk in chunked(&samples, parts) {
+            let mut partial = Histogram::new(0.0, 100.0, bins);
+            partial.extend_from_slice(chunk);
+            merged.merge(&partial);
+        }
+        let mut single = Histogram::new(0.0, 100.0, bins);
+        single.extend_from_slice(&samples);
+        prop_assert_eq!(merged, single);
+    }
+
+    /// Merging K sorted CDF partials is *exact*: the merged sample list equals the
+    /// sorted concatenation, so every quantile matches bit for bit.
+    #[test]
+    fn cdf_k_way_merge_is_exact(
+        samples in prop::collection::vec(0.0f64..1_000.0, 1..128),
+        parts in 2usize..7,
+    ) {
+        let mut merged = EmpiricalCdf::from_samples(&[]);
+        for chunk in chunked(&samples, parts) {
+            merged.merge(&EmpiricalCdf::from_samples(chunk));
+        }
+        let single = EmpiricalCdf::from_samples(&samples);
+        prop_assert_eq!(&merged, &single);
+        for step in 0..=20 {
+            let q = step as f64 / 20.0;
+            prop_assert_eq!(merged.quantile(q).to_bits(), single.quantile(q).to_bits());
+        }
     }
 
     /// Quantiles are monotone non-decreasing in `q` and hit min/max at the extremes.

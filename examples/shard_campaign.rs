@@ -1,0 +1,145 @@
+//! A distributed campaign: K shard processes, one merge, byte-identical to one host.
+//!
+//! The parent process builds a [`ShardPlan`], re-executes itself K times (one OS
+//! process per shard, the way a cluster launcher would start one worker per host),
+//! and each child writes its [`ShardReport`] as canonical JSON to a file. The parent
+//! parses the K files, merges them with [`CampaignReport::merge`], runs the same
+//! campaign single-process as a reference, and verifies the merged report is
+//! **byte-identical** to the single-process one — the end-to-end proof that sharding
+//! is invisible in the results.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example shard_campaign
+//! DG_SHARDS=4 DG_SHARD_STRATEGY=strided cargo run --release --example shard_campaign
+//! ```
+//!
+//! Environment knobs: `DG_SHARDS` (shard count, default 3) and `DG_SHARD_STRATEGY`
+//! (`contiguous` | `strided` | `cost-balanced`, default `cost-balanced`).
+
+use darwingame::prelude::*;
+use darwingame::stats::{Column, Table};
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The shared spec every participant (parent and children) rebuilds identically: a
+/// 12-cell grid over two tuners, two VM types, and three seeds at smoke scale.
+fn shared_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::single("shard-campaign", "RandomSearch", 3);
+    spec.tuners = vec!["RandomSearch".into(), "BLISS".into()];
+    spec.vm_types = vec![VmType::M5_8xlarge, VmType::C5_9xlarge];
+    spec.scale = ExperimentScale::smoke();
+    spec.base_seed = 0x5a4d;
+    spec
+}
+
+fn strategy_from_env() -> ShardStrategy {
+    let name = std::env::var("DG_SHARD_STRATEGY").unwrap_or_else(|_| "cost-balanced".to_string());
+    ShardStrategy::from_name(&name).unwrap_or_else(|| {
+        panic!("unknown DG_SHARD_STRATEGY {name:?} (want contiguous | strided | cost-balanced)")
+    })
+}
+
+fn shard_count_from_env() -> usize {
+    std::env::var("DG_SHARDS")
+        .ok()
+        .map(|v| v.parse().expect("DG_SHARDS must be a positive integer"))
+        .unwrap_or(3)
+        .max(1)
+}
+
+fn main() {
+    let spec = shared_spec();
+    let shards = shard_count_from_env();
+    let strategy = strategy_from_env();
+    let plan = ShardPlan::new(&spec, shards, strategy);
+
+    // Child mode: run one shard and write its report where the parent asked.
+    if let Ok(index) = std::env::var("DG_SHARD_INDEX") {
+        let shard: usize = index.parse().expect("DG_SHARD_INDEX must be an integer");
+        let out = std::env::var("DG_SHARD_OUT").expect("DG_SHARD_OUT must be set for children");
+        let report = Campaign::new(spec).run_shard(&plan, shard);
+        std::fs::write(&out, report.to_json()).expect("write shard report");
+        return;
+    }
+
+    println!("=== Sharded campaign: {shards} processes, {strategy} assignment ===\n");
+    println!(
+        "grid: {} cells ({} tuners x {} VMs x {} seeds)",
+        spec.grid_size(),
+        spec.tuners.len(),
+        spec.vm_types.len(),
+        spec.seeds.len()
+    );
+
+    let out_dir = std::env::temp_dir().join(format!("dg-shard-campaign-{}", std::process::id()));
+    std::fs::create_dir_all(&out_dir).expect("create shard output directory");
+    let shard_file = |shard: usize| -> PathBuf { out_dir.join(format!("shard-{shard}.json")) };
+
+    // One OS process per shard, all running concurrently — the single-host stand-in
+    // for "one worker per cloud host". Each child rebuilds the same spec and plan.
+    let exe = std::env::current_exe().expect("current executable path");
+    let children: Vec<_> = (0..plan.shard_count())
+        .map(|shard| {
+            Command::new(&exe)
+                .env("DG_SHARD_INDEX", shard.to_string())
+                .env("DG_SHARD_OUT", shard_file(shard))
+                .env("DG_SHARDS", shards.to_string())
+                .env("DG_SHARD_STRATEGY", strategy.name())
+                .spawn()
+                .expect("spawn shard process")
+        })
+        .collect();
+    for (shard, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().expect("wait for shard process");
+        assert!(status.success(), "shard {shard} exited with {status}");
+    }
+
+    // Gather the shard reports from their files — the merge side of the protocol.
+    let mut reports = Vec::with_capacity(plan.shard_count());
+    for shard in 0..plan.shard_count() {
+        let text = std::fs::read_to_string(shard_file(shard)).expect("read shard report");
+        reports.push(ShardReport::from_json(&text).expect("parse shard report"));
+    }
+
+    let mut table = Table::new(vec![
+        Column::right("shard"),
+        Column::right("cells"),
+        Column::right("est. cost"),
+        Column::right("core-hours"),
+        Column::right("bytes"),
+    ]);
+    for report in &reports {
+        table.push_row(vec![
+            format!("{}", report.shard),
+            format!("{}", report.cells.len()),
+            format!("{}", plan.estimated_cost(report.shard)),
+            format!(
+                "{:.1}",
+                report.cells.iter().map(|c| c.core_hours).sum::<f64>()
+            ),
+            format!("{}", report.to_json().len()),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    let merged = CampaignReport::merge(reports).expect("shard reports merge");
+    let reference = Campaign::new(spec).run();
+    assert_eq!(
+        merged.to_json(),
+        reference.to_json(),
+        "merged shard reports must be byte-identical to the single-process report"
+    );
+
+    println!(
+        "merged {} cells from {} processes -> byte-identical to the single-process report \
+         ({} bytes of canonical JSON)\n",
+        merged.completed_cells(),
+        plan.shard_count(),
+        merged.to_json().len()
+    );
+    println!("{}", merged.summary_table().render());
+
+    let _ = std::fs::remove_dir_all(&out_dir);
+}

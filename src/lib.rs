@@ -44,7 +44,7 @@ pub mod prelude {
     };
     pub use dg_campaign::{
         register_darwin_variant, standard_registry, Campaign, CampaignReport, CampaignSpec,
-        ExperimentScale,
+        ExperimentScale, MergeError, ShardPlan, ShardReport, ShardStrategy,
     };
     pub use dg_cloudsim::{
         CloudEnvironment, DedicatedEnvironment, ExecutionSpec, InterferenceProfile, SimRng,
