@@ -2,19 +2,22 @@
 //!
 //! The Redis workload is tuned with DarwinGame on every VM type of the paper's sweep
 //! (m5.large … m5.24xlarge, c5.9xlarge, r5.8xlarge, i3.8xlarge), two seeds per VM — a
-//! 16-cell campaign. The sweep runs three ways: once on a single worker (the serial
-//! loop this bench used to hand-roll), once on all cores, and once *sharded* (K ∈ {2, 4}
+//! 16-cell campaign. The sweep runs four ways: once on a single worker (the serial
+//! loop this bench used to hand-roll), once on all cores, once *sharded* (K ∈ {2, 4}
 //! shards run independently, round-tripped through the shard-report JSON wire format,
-//! then merged) — demonstrating the parallel speed-up and that all reports are
-//! byte-identical.
+//! then merged), and once *replayed* from a recorded execution trace (zero simulator
+//! operations) — demonstrating the parallel and replay speed-ups and that all reports
+//! are byte-identical.
 //!
-//! Run with `cargo bench --bench fig15_vm_sweep`.
+//! Run with `cargo bench --bench fig15_vm_sweep`. Set `DG_FIG15_SMOKE=1` to shrink the
+//! grid to a CI-sized smoke sweep (used by the `replay-smoke` CI job).
 
 use dg_campaign::{
-    default_workers, Campaign, CampaignReport, CampaignSpec, ExperimentScale, ShardPlan,
-    ShardReport, ShardStrategy,
+    default_workers, Campaign, CampaignReport, CampaignSpec, ExecutionTrace, ExperimentScale,
+    ShardPlan, ShardReport, ShardStrategy,
 };
 use dg_cloudsim::VmType;
+use dg_exec::sim_ops;
 use dg_stats::{Column, Table};
 use dg_tuners::OracleTuner;
 use dg_workloads::{Application, Workload};
@@ -23,10 +26,15 @@ use std::time::Instant;
 fn sweep_spec() -> CampaignSpec {
     let mut spec = CampaignSpec::single("fig15-vm-sweep", "DarwinGame", 2);
     spec.vm_types = VmType::ALL.to_vec();
-    spec.scale = ExperimentScale {
-        space_size: 60_000,
-        regions: 96,
-        ..ExperimentScale::default_scale()
+    spec.scale = if std::env::var("DG_FIG15_SMOKE").is_ok() {
+        // CI-sized variant: same grid shape, tiny per-cell work.
+        ExperimentScale::smoke()
+    } else {
+        ExperimentScale {
+            space_size: 60_000,
+            regions: 96,
+            ..ExperimentScale::default_scale()
+        }
     };
     spec.base_seed = 80;
     spec
@@ -96,6 +104,44 @@ fn main() {
         );
     }
     println!();
+
+    // The replay variant: record the sweep once (trace round-tripped through its
+    // canonical JSON wire format, the way a stored artifact travels), then replay it
+    // with zero simulator operations and demand byte-identity with the serial report.
+    let record_start = Instant::now();
+    let (recorded_report, trace) = campaign.record();
+    let record_elapsed = record_start.elapsed();
+    assert_eq!(
+        recorded_report.to_json(),
+        serial_report.to_json(),
+        "recording must not change the report"
+    );
+    let trace = ExecutionTrace::from_json(&trace.to_json()).expect("canonical traces round-trip");
+    let trace_events = trace.events_total();
+    // Single-worker replay runs on this thread, so the thread-local simulator-op
+    // counter proves zero resimulation exactly.
+    let ops_before = sim_ops();
+    let replay_start = Instant::now();
+    let replayed_report = campaign
+        .replay_with_workers(trace, 1)
+        .expect("trace matches its own spec");
+    let replay_elapsed = replay_start.elapsed();
+    assert_eq!(sim_ops(), ops_before, "replay must not touch the simulator");
+    assert_eq!(
+        replayed_report.to_json(),
+        serial_report.to_json(),
+        "replayed report must be byte-identical to the serial run"
+    );
+    println!(
+        "recorded:              {:>8.2} s  ({} trace events)",
+        record_elapsed.as_secs_f64(),
+        trace_events
+    );
+    println!(
+        "replayed:              {:>8.2} s  ({:.0}x vs recording, 0 simulator ops, byte-identical)\n",
+        replay_elapsed.as_secs_f64(),
+        record_elapsed.as_secs_f64() / replay_elapsed.as_secs_f64().max(1e-9)
+    );
 
     let mut table = Table::new(vec![
         Column::left("VM type"),

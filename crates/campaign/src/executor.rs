@@ -16,11 +16,13 @@ use crate::scale::ExperimentScale;
 use crate::shard::{ShardPlan, ShardReport};
 use crate::spec::{profile_label, CampaignSpec, CellCoord};
 use darwin_core::{AblationConfig, DarwinGame, TournamentConfig};
-use dg_cloudsim::CloudEnvironment;
+use dg_exec::{
+    BackendProvider, ExecutionTrace, SimProvider, TraceError, TraceRecorder, TraceReplayer,
+};
 use dg_tuners::{TunerRegistry, TuningBudget};
 use dg_workloads::Workload;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A registry with everything the standard experiments sweep over: the `dg-tuners`
 /// baselines plus `"DarwinGame"` configured from `scale` (regions, players per game
@@ -108,6 +110,98 @@ impl Campaign {
         self.run_with_workers(default_workers())
     }
 
+    /// Runs the campaign while recording every backend outcome, returning the report
+    /// plus an [`ExecutionTrace`] that [`replay`](Self::replay) can turn back into the
+    /// byte-identical report with zero resimulation.
+    pub fn record(&self) -> (CampaignReport, ExecutionTrace) {
+        self.record_with_workers(default_workers())
+    }
+
+    /// [`record`](Self::record) on exactly `workers` worker threads.
+    pub fn record_with_workers(&self, workers: usize) -> (CampaignReport, ExecutionTrace) {
+        let recorder = TraceRecorder::new(
+            Box::new(SimProvider),
+            self.spec.name.clone(),
+            self.spec.fingerprint(),
+        );
+        let report = self.run_with_provider(&recorder, workers);
+        (report, recorder.finish())
+    }
+
+    /// Replays a recorded campaign: every cell's outcomes are answered from `trace`
+    /// instead of the simulator, which turns repeated sweeps into near-instant
+    /// replays. The report is byte-identical to the recorded (live) run.
+    ///
+    /// For a `max_core_hours`-capped campaign the trace's recorded cell set *is* the
+    /// cap decision (the live run recorded exactly the cells that completed), so
+    /// replay runs precisely those cells with the cap itself disabled — the recorded
+    /// subset replays byte-identically no matter how the live run was scheduled.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`TraceError`] when the trace does not belong to this campaign:
+    /// a different spec fingerprint, a different campaign name, or (for uncapped
+    /// specs, where every scheduled cell must have run) missing cell streams.
+    pub fn replay(
+        &self,
+        trace: impl Into<Arc<ExecutionTrace>>,
+    ) -> Result<CampaignReport, TraceError> {
+        self.replay_with_workers(trace, default_workers())
+    }
+
+    /// [`replay`](Self::replay) on exactly `workers` worker threads.
+    ///
+    /// Accepts the trace by value or as an `Arc` — repeated replays of one parsed
+    /// trace should pass `Arc` clones so nothing is deep-copied per replay.
+    pub fn replay_with_workers(
+        &self,
+        trace: impl Into<Arc<ExecutionTrace>>,
+        workers: usize,
+    ) -> Result<CampaignReport, TraceError> {
+        let trace: Arc<ExecutionTrace> = trace.into();
+        let expected = self.spec.fingerprint();
+        if trace.fingerprint != expected {
+            return Err(TraceError::FingerprintMismatch {
+                expected,
+                found: trace.fingerprint,
+            });
+        }
+        if trace.campaign != self.spec.name {
+            return Err(TraceError::CampaignMismatch {
+                expected: self.spec.name.clone(),
+                found: trace.campaign.clone(),
+            });
+        }
+        // A capped live run legitimately skips cells (and records no stream for
+        // them); replay exactly the recorded subset. Without a cap, every scheduled
+        // cell must have a stream — a gap means the trace is truncated or foreign.
+        let capped = self.spec.max_core_hours.is_some();
+        let scheduled: Vec<CellCoord> = self.spec.cells();
+        let mut recorded: Vec<CellCoord> = Vec::with_capacity(scheduled.len());
+        for cell in scheduled.iter().cloned() {
+            let stream = cell_stream(&cell);
+            if trace.stream(&stream).is_some() {
+                recorded.push(cell);
+            } else if !capped {
+                return Err(TraceError::MissingStream { stream });
+            }
+        }
+        let replayer = TraceReplayer::new(trace);
+        // The cap is not re-applied: replayed costs are bitwise-identical, and which
+        // cells the cap allowed is already encoded in the recorded subset. A capped
+        // run completed fewer cells than scheduled if and only if the cap stopped it,
+        // which is exactly the live report's `budget_exhausted` condition.
+        let (completed, _stopped) = self.execute(&replayer, &recorded, workers, None);
+        let budget_exhausted = completed.len() < scheduled.len();
+        Ok(CampaignReport::from_cells(
+            self.spec.name.clone(),
+            self.spec.grid_size(),
+            scheduled.len(),
+            budget_exhausted,
+            completed,
+        ))
+    }
+
     /// Runs the campaign on exactly `workers` worker threads.
     ///
     /// Without a `max_core_hours` cap the report is identical (byte-for-byte in its
@@ -120,9 +214,25 @@ impl Campaign {
     ///
     /// Panics if `workers == 0`.
     pub fn run_with_workers(&self, workers: usize) -> CampaignReport {
+        self.run_with_provider(&SimProvider, workers)
+    }
+
+    /// Runs the campaign with every cell's backend supplied by `provider` — the
+    /// extension point record/replay, memoization, and future real-process or
+    /// surrogate backends plug into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn run_with_provider(
+        &self,
+        provider: &dyn BackendProvider,
+        workers: usize,
+    ) -> CampaignReport {
         let cells = self.spec.cells();
         let scheduled = cells.len();
-        let (completed, stopped) = self.execute(&cells, workers);
+        let (completed, stopped) =
+            self.execute(provider, &cells, workers, self.spec.max_core_hours);
         // The cap may trip on the very last scheduled cell; that run is complete, not
         // truncated, so `budget_exhausted` additionally requires unfinished cells.
         let budget_exhausted = stopped && completed.len() < scheduled;
@@ -170,7 +280,8 @@ impl Campaign {
         let all = self.spec.cells();
         let indices = plan.indices(shard);
         let cells: Vec<CellCoord> = indices.iter().map(|i| all[*i].clone()).collect();
-        let (completed, stopped) = self.execute(&cells, workers);
+        let (completed, stopped) =
+            self.execute(&SimProvider, &cells, workers, self.spec.max_core_hours);
         ShardReport {
             campaign: self.spec.name.clone(),
             fingerprint: plan.fingerprint(),
@@ -187,12 +298,20 @@ impl Campaign {
 
     /// The shared worker pool: runs `cells` (any subset of the grid, in any order)
     /// across `workers` threads and returns the completed results in the same order as
-    /// `cells`, plus whether the `max_core_hours` cap tripped.
+    /// `cells`, plus whether the `max_core_hours` cap tripped. The cap is passed
+    /// explicitly because replay disables it (the recorded cell set already embodies
+    /// the live cap decision).
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0`.
-    fn execute(&self, cells: &[CellCoord], workers: usize) -> (Vec<CellResult>, bool) {
+    fn execute(
+        &self,
+        provider: &dyn BackendProvider,
+        cells: &[CellCoord],
+        workers: usize,
+        max_core_hours: Option<f64>,
+    ) -> (Vec<CellResult>, bool) {
         assert!(workers > 0, "at least one worker is required");
         let scheduled = cells.len();
         let next = AtomicUsize::new(0);
@@ -209,10 +328,10 @@ impl Campaign {
             if i >= scheduled {
                 break;
             }
-            let result = run_cell(&self.spec, &self.registry, &cells[i]);
+            let result = run_cell(provider, &self.spec, &self.registry, &cells[i]);
             let hours = result.core_hours;
             *slots[i].lock().expect("cell slot poisoned") = Some(result);
-            if let Some(cap) = self.spec.max_core_hours {
+            if let Some(cap) = max_core_hours {
                 let mut spent = spent_core_hours.lock().expect("budget lock poisoned");
                 *spent += hours;
                 if *spent >= cap {
@@ -253,9 +372,20 @@ pub fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
-/// Runs a single campaign cell: build the workload and a fresh cloud environment, tune,
-/// then re-measure the chosen configuration with repeated later executions.
-fn run_cell(spec: &CampaignSpec, registry: &TunerRegistry, cell: &CellCoord) -> CellResult {
+/// The trace-stream key of a campaign cell, shared by recording and replaying.
+fn cell_stream(cell: &CellCoord) -> String {
+    format!("cell-{}", cell.index)
+}
+
+/// Runs a single campaign cell: build the workload and a fresh execution backend from
+/// the provider, tune, then re-measure the chosen configuration with repeated later
+/// executions.
+fn run_cell(
+    provider: &dyn BackendProvider,
+    spec: &CampaignSpec,
+    registry: &TunerRegistry,
+    cell: &CellCoord,
+) -> CellResult {
     // `seed_index` equals `index` unless the spec pairs tuners, in which case cells
     // differing only in tuner share it (and therefore the environment's noise).
     let root = spec.cell_rng(cell.seed_index);
@@ -265,14 +395,14 @@ fn run_cell(spec: &CampaignSpec, registry: &TunerRegistry, cell: &CellCoord) -> 
     let tuner_seed = root.derive("tuner").derive_index(cell.seed).seed();
 
     let workload = Workload::scaled(cell.application, spec.scale.space_size);
-    let mut cloud = CloudEnvironment::new(cell.vm, cell.profile.clone(), env_seed);
+    let mut exec = provider.backend(&cell_stream(cell), cell.vm, &cell.profile, env_seed);
     let mut tuner = registry
         .build(&cell.tuner, tuner_seed, cell.vm)
         .expect("tuner axis validated at construction");
     let budget = TuningBudget::evaluations(spec.budget_for(&cell.tuner));
-    let outcome = tuner.tune(&workload, &mut cloud, budget);
+    let outcome = tuner.tune(&workload, exec.as_mut(), budget);
 
-    let runs = cloud.observe_repeated(
+    let runs = exec.observe_repeated(
         workload.spec(outcome.chosen),
         spec.scale.evaluation_runs,
         spec.scale.evaluation_spacing,

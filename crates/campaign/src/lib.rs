@@ -39,12 +39,12 @@
 #![warn(missing_docs)]
 
 mod executor;
-mod json;
 mod report;
 mod scale;
 mod shard;
 mod spec;
 
+pub use dg_exec::{BackendProvider, ExecutionTrace, TraceError};
 pub use executor::{default_workers, register_darwin_variant, standard_registry, Campaign};
 pub use report::{CampaignReport, CellResult, GroupSummary};
 pub use scale::ExperimentScale;

@@ -1,7 +1,7 @@
 //! Campaign results: per-cell records, per-group streaming aggregates, JSON emission,
 //! and compact text summaries.
 
-use crate::json::{push_f64, push_key, push_str_literal};
+use dg_exec::json::{push_f64, push_key, push_str_literal};
 use dg_stats::{Column, EmpiricalCdf, OnlineStats, Table};
 use serde::{Deserialize, Serialize};
 

@@ -25,9 +25,9 @@
 //! different spec — are rejected with typed [`MergeError`]s instead of corrupting the
 //! output.
 
-use crate::json::{self, push_key, push_str_literal, JsonValue};
 use crate::report::{CampaignReport, CellResult};
 use crate::spec::CampaignSpec;
+use dg_exec::json::{self, push_key, push_str_literal, JsonValue};
 use std::fmt;
 use std::fmt::Write as _;
 

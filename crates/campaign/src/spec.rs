@@ -6,24 +6,9 @@ use dg_workloads::Application;
 use serde::{Deserialize, Serialize};
 
 /// A short, human-readable label for an interference profile, used in cell results,
-/// group keys, and JSON output.
-///
-/// The label is injective over the profile's parameters (distinct `Constant`/`Custom`
-/// profiles get distinct labels), because it doubles as part of the report's group key.
-pub fn profile_label(profile: &InterferenceProfile) -> String {
-    match profile {
-        InterferenceProfile::Dedicated => "dedicated".to_string(),
-        InterferenceProfile::Constant(level) => format!("constant({level})"),
-        InterferenceProfile::Typical => "typical".to_string(),
-        InterferenceProfile::Heavy => "heavy".to_string(),
-        InterferenceProfile::Custom {
-            base,
-            value_amplitude,
-            regime_scale,
-            burst_magnitude,
-        } => format!("custom({base},{value_amplitude},{regime_scale},{burst_magnitude})"),
-    }
-}
+/// group keys, trace stream headers, and JSON output (re-exported from `dg-exec`, which
+/// uses the same labels to validate traces at replay).
+pub use dg_exec::profile_label;
 
 /// One cell of a campaign grid: a single `(tuner, application, vm, profile, seed)`
 /// combination, in stable grid order.

@@ -1,0 +1,187 @@
+//! Record/replay differential battery: a recorded campaign trace, round-tripped
+//! through its canonical JSON wire format, replays to a `CampaignReport` that is
+//! byte-identical to the live run — with zero simulator operations executed.
+//!
+//! Mismatched replays (different spec fingerprint, renamed campaign, truncated trace)
+//! are rejected with typed [`TraceError`]s. The vendored proptest harness runs 64
+//! deterministic cases per property.
+
+use dg_campaign::{Campaign, CampaignSpec, ExperimentScale, TraceError};
+use dg_cloudsim::{InterferenceProfile, VmType};
+use dg_exec::{sim_ops, ExecutionTrace};
+use dg_workloads::Application;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A deliberately tiny per-cell scale so the 64 record+replay cases stay fast.
+fn tiny_scale() -> ExperimentScale {
+    ExperimentScale {
+        space_size: 400,
+        regions: 4,
+        players_per_game: 4,
+        baseline_budget: 6,
+        exhaustive_budget: 24,
+        evaluation_runs: 4,
+        evaluation_spacing: 600.0,
+        tuning_repeats: 1,
+    }
+}
+
+fn random_spec(tuner_count: usize, seed_count: u64, base_seed: u64) -> CampaignSpec {
+    let mut spec = CampaignSpec::new("trace-differential");
+    // Include DarwinGame so traces exercise games, forks, solo runs, and observations.
+    let tuner_pool = ["DarwinGame", "RandomSearch", "OpenTuner"];
+    spec.tuners = tuner_pool[..tuner_count]
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
+    spec.applications = vec![Application::Redis];
+    spec.vm_types = vec![VmType::M5_8xlarge];
+    spec.profiles = vec![InterferenceProfile::typical()];
+    spec.seeds = (0..seed_count).collect();
+    spec.scale = tiny_scale();
+    spec.base_seed = base_seed;
+    spec
+}
+
+proptest! {
+    /// The load-bearing property: record → serialize → parse → replay reproduces the
+    /// live report byte for byte, and the replay performs zero simulator operations.
+    #[test]
+    fn recorded_traces_replay_byte_identically_with_zero_simulation(
+        tuner_count in 1usize..4,
+        seed_count in 1u64..3,
+        base_seed in 0u64..1_000_000,
+        workers in 1usize..3,
+    ) {
+        let spec = random_spec(tuner_count, seed_count, base_seed);
+        let campaign = Campaign::new(spec);
+        let (live_report, trace) = campaign.record_with_workers(workers);
+
+        // Round-trip the trace through its canonical JSON wire format, the way a
+        // stored trace file would travel.
+        let json = trace.to_json();
+        let parsed = ExecutionTrace::from_json(&json).expect("canonical traces parse");
+        prop_assert_eq!(&parsed, &trace, "JSON round trip must be lossless");
+        prop_assert_eq!(parsed.to_json(), json, "re-serialization is byte-identical");
+        let parsed = Arc::new(parsed);
+
+        // Single-worker replay runs on this thread, so the thread-local simulator-op
+        // counter proves zero resimulation exactly.
+        let before = sim_ops();
+        let replayed = campaign
+            .replay_with_workers(Arc::clone(&parsed), 1)
+            .expect("a recorded trace replays against its own spec");
+        prop_assert_eq!(
+            sim_ops(),
+            before,
+            "replay must execute zero simulator operations"
+        );
+        prop_assert_eq!(
+            replayed.to_json(),
+            live_report.to_json(),
+            "replayed report diverged from the live run"
+        );
+        // Replay is worker-count independent too.
+        let replayed_parallel = campaign
+            .replay_with_workers(Arc::clone(&parsed), 2)
+            .expect("a recorded trace replays against its own spec");
+        prop_assert_eq!(
+            replayed_parallel.to_json(),
+            replayed.to_json(),
+            "replay must be byte-identical across worker counts"
+        );
+    }
+}
+
+#[test]
+fn capped_campaigns_record_and_replay_byte_identically() {
+    // A tiny core-hour cap trips after the first completed cell (serial execution
+    // makes the completed set deterministic), so the live run records only a subset
+    // of the grid. The recorded subset is the cap decision: replay runs exactly those
+    // cells, cap disabled, and reproduces the capped report byte for byte.
+    let mut spec = random_spec(3, 2, 9);
+    spec.max_core_hours = Some(1.0);
+    let campaign = Campaign::new(spec);
+    let (live, trace) = campaign.record_with_workers(1);
+    assert!(live.budget_exhausted, "the cap must trip in this setup");
+    assert!(
+        live.completed_cells() < campaign.spec().cells().len(),
+        "some cells must have been skipped"
+    );
+
+    let trace =
+        Arc::new(ExecutionTrace::from_json(&trace.to_json()).expect("canonical traces round-trip"));
+    for workers in [1, 2] {
+        let replayed = campaign
+            .replay_with_workers(Arc::clone(&trace), workers)
+            .expect("a capped run's own trace replays");
+        assert_eq!(
+            replayed.to_json(),
+            live.to_json(),
+            "capped replay ({workers} workers) diverged from the live run"
+        );
+    }
+}
+
+#[test]
+fn replaying_against_a_mismatched_spec_is_a_typed_error() {
+    let spec = random_spec(1, 1, 42);
+    let campaign = Campaign::new(spec.clone());
+    let (_, trace) = campaign.record_with_workers(1);
+
+    // Same grid, different base seed: different fingerprint.
+    let mut reseeded = spec.clone();
+    reseeded.base_seed ^= 0xdead;
+    let err = Campaign::new(reseeded.clone())
+        .replay(trace)
+        .expect_err("a reseeded spec must reject the trace");
+    assert_eq!(
+        err,
+        TraceError::FingerprintMismatch {
+            expected: reseeded.fingerprint(),
+            found: spec.fingerprint(),
+        }
+    );
+    assert!(err.to_string().contains("different campaign spec"));
+}
+
+#[test]
+fn replaying_a_truncated_trace_is_a_typed_error() {
+    let mut capped = random_spec(1, 2, 7);
+    capped.max_cells = Some(1);
+    let (_, trace) = Campaign::new(capped.clone()).record_with_workers(1);
+
+    // The full grid needs cell-1, which the capped trace never recorded. (The capped
+    // spec has a different fingerprint too, so rebuild the trace around the full
+    // spec's identity to isolate the missing-stream check.)
+    let mut full = capped.clone();
+    full.max_cells = None;
+    let json = trace.to_json().replace(
+        &format!("\"fingerprint\":{}", capped.fingerprint()),
+        &format!("\"fingerprint\":{}", full.fingerprint()),
+    );
+    let renamed = ExecutionTrace::from_json(&json).expect("edited trace still parses");
+    let err = Campaign::new(full)
+        .replay(renamed)
+        .expect_err("missing cell streams must be rejected");
+    assert_eq!(
+        err,
+        TraceError::MissingStream {
+            stream: "cell-1".into()
+        }
+    );
+}
+
+#[test]
+fn replaying_a_renamed_campaign_is_a_typed_error() {
+    let spec = random_spec(1, 1, 3);
+    let (_, trace) = Campaign::new(spec.clone()).record_with_workers(1);
+    let mut renamed = spec;
+    renamed.name = "something-else".into();
+    // Renaming changes the fingerprint as well; the fingerprint check fires first.
+    let err = Campaign::new(renamed)
+        .replay(trace)
+        .expect_err("renamed campaigns must be rejected");
+    assert!(matches!(err, TraceError::FingerprintMismatch { .. }));
+}

@@ -12,8 +12,9 @@ use serde::{Deserialize, Serialize};
 
 /// Safety cap on simulated game length, expressed as a multiple of the slowest player's
 /// dedicated execution time. Prevents run-away integration if a pathological spec is fed
-/// to the simulator.
-const MAX_RUN_MULTIPLIER: f64 = 64.0;
+/// to the simulator. Public because execution backends that drive games themselves
+/// (`dg-exec`) must apply the exact same cap to stay bit-compatible with committed runs.
+pub const MAX_RUN_MULTIPLIER: f64 = 64.0;
 
 /// The observation returned by a committed single-configuration run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -22,6 +23,11 @@ pub struct ObservedRun {
     pub observed_time: f64,
     /// Simulated time at which the run started.
     pub started_at: SimTime,
+    /// Wall-clock seconds the run occupied (and was charged for) on its node. Slightly
+    /// larger than `observed_time` because the simulator integrates in discrete steps
+    /// and charges whole steps; this is the exact value the cost tracker saw, which
+    /// record/replay execution backends need to reproduce accounting bit for bit.
+    pub elapsed: f64,
 }
 
 /// A shared, interference-prone cloud node on which tuning is performed.
@@ -33,6 +39,7 @@ pub struct ObservedRun {
 pub struct CloudEnvironment {
     vm: VmType,
     profile: InterferenceProfile,
+    seed: u64,
     node_seed: u64,
     model: Box<dyn InterferenceModel>,
     clock: SimTime,
@@ -63,6 +70,7 @@ impl CloudEnvironment {
         Self {
             vm,
             profile,
+            seed,
             node_seed,
             model,
             clock: SimTime::ZERO,
@@ -80,6 +88,13 @@ impl CloudEnvironment {
     /// The interference profile of the node.
     pub fn profile(&self) -> &InterferenceProfile {
         &self.profile
+    }
+
+    /// The root seed the environment was constructed with. Two environments on the same
+    /// VM type and profile with the same seed behave identically, so the seed is the
+    /// identity of the environment's entire noise realisation.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The current simulated wall-clock time.
@@ -149,42 +164,61 @@ impl CloudEnvironment {
 
     /// Accounts for a finished game and advances the wall clock by its elapsed time.
     pub fn commit(&mut self, outcome: &ColocationOutcome) {
-        self.cost.charge_serial(self.vm, outcome.elapsed());
-        self.clock += outcome.elapsed();
+        self.commit_parts(outcome.players(), outcome.start_time(), outcome.elapsed());
+    }
+
+    /// [`commit`](Self::commit) from the raw accounting triple `(players, start,
+    /// elapsed)` instead of a full [`ColocationOutcome`].
+    ///
+    /// Execution backends that did not resimulate the game (trace replay, memoised
+    /// hits) only carry these three numbers; charging through the same code path keeps
+    /// their cost accounting bit-identical to a live simulation.
+    pub fn commit_parts(&mut self, players: usize, start: SimTime, elapsed: f64) {
+        self.cost.charge_serial(self.vm, elapsed);
+        self.clock += elapsed;
         self.log.push(RunRecord {
-            kind: if outcome.players() == 1 {
+            kind: if players == 1 {
                 RunKind::Single
             } else {
                 RunKind::Colocated
             },
-            players: outcome.players(),
+            players,
             vm: self.vm,
-            start: outcome.start_time(),
-            elapsed: outcome.elapsed(),
+            start,
+            elapsed,
         });
     }
 
     /// Accounts for a batch of games that ran concurrently on identical VMs: every game
     /// is charged in core-hours but the clock advances only by the longest one.
     pub fn commit_parallel(&mut self, outcomes: &[ColocationOutcome]) {
-        if outcomes.is_empty() {
+        let parts: Vec<(usize, SimTime, f64)> = outcomes
+            .iter()
+            .map(|o| (o.players(), o.start_time(), o.elapsed()))
+            .collect();
+        self.commit_parallel_parts(&parts);
+    }
+
+    /// [`commit_parallel`](Self::commit_parallel) from raw accounting triples.
+    pub fn commit_parallel_parts(&mut self, parts: &[(usize, SimTime, f64)]) {
+        if parts.is_empty() {
             return;
         }
-        let elapsed: Vec<f64> = outcomes.iter().map(ColocationOutcome::elapsed).collect();
+        let elapsed: Vec<f64> = parts.iter().map(|(_, _, e)| *e).collect();
         self.cost.charge_parallel(self.vm, &elapsed);
         let max_elapsed = elapsed.iter().copied().fold(0.0_f64, f64::max);
         self.clock += max_elapsed;
-        for outcome in outcomes {
+        for (players, start, elapsed) in parts.iter().copied() {
             self.log.push(RunRecord {
-                kind: if outcome.players() == 1 {
+                kind: if players == 1 {
                     RunKind::Single
                 } else {
                     RunKind::Colocated
                 },
-                players: outcome.players(),
+                players,
                 vm: self.vm,
-                start: outcome.start_time(),
-                elapsed: outcome.elapsed(),
+                start,
+                elapsed,
             });
         }
     }
@@ -207,6 +241,7 @@ impl CloudEnvironment {
         ObservedRun {
             observed_time: outcome.observed_times()[0],
             started_at,
+            elapsed: outcome.elapsed(),
         }
     }
 

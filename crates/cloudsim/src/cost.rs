@@ -70,6 +70,53 @@ impl fmt::Display for CoreHours {
     }
 }
 
+/// A point-in-time copy of a [`CostTracker`]'s counters, taken with
+/// [`CostTracker::snapshot`].
+///
+/// Snapshots turn the "remember the counters at phase start, subtract at phase end"
+/// bookkeeping that used to be hand-rolled at every call site into one API:
+///
+/// ```
+/// use dg_cloudsim::{CostTracker, VmType};
+/// let mut tracker = CostTracker::new();
+/// let before = tracker.snapshot();
+/// tracker.charge_serial(VmType::M5_8xlarge, 3600.0);
+/// let delta = before.delta(&tracker);
+/// assert!((delta.core_hours - 32.0).abs() < 1e-9);
+/// assert_eq!(delta.runs, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostSnapshot {
+    core_hours: f64,
+    wall_clock_seconds: f64,
+    runs: u64,
+}
+
+impl CostSnapshot {
+    /// The resources consumed between this snapshot and `now`.
+    ///
+    /// The subtraction is performed field by field exactly as the former hand-rolled
+    /// call sites did, so refactoring onto snapshots is bit-for-bit neutral.
+    pub fn delta(&self, now: &CostTracker) -> CostDelta {
+        CostDelta {
+            core_hours: now.core_hours() - self.core_hours,
+            wall_clock_seconds: now.wall_clock_seconds() - self.wall_clock_seconds,
+            runs: now.runs() - self.runs,
+        }
+    }
+}
+
+/// The resources consumed over an interval, as reported by [`CostSnapshot::delta`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostDelta {
+    /// Core-hours consumed in the interval.
+    pub core_hours: f64,
+    /// Wall-clock seconds elapsed in the interval.
+    pub wall_clock_seconds: f64,
+    /// Runs/games recorded in the interval.
+    pub runs: u64,
+}
+
 /// Accumulates the resources consumed by a tuning session.
 ///
 /// Wall-clock time and core-hours are tracked separately because games can be played in
@@ -107,6 +154,16 @@ impl CostTracker {
             self.runs += 1;
         }
         self.wall_clock_seconds += max_elapsed.max(0.0);
+    }
+
+    /// Captures the current counters so the resources consumed by a sub-phase can be
+    /// measured with [`CostSnapshot::delta`] afterwards.
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            core_hours: self.core_hours(),
+            wall_clock_seconds: self.wall_clock_seconds(),
+            runs: self.runs(),
+        }
     }
 
     /// Merges another tracker into this one (used when sub-phases account independently).
@@ -198,6 +255,21 @@ mod tests {
         tracker.charge_serial(VmType::M5_8xlarge, 3600.0);
         let cost = tracker.dollar_cost(VmType::M5_8xlarge);
         assert!((cost - VmType::M5_8xlarge.hourly_price_usd()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_delta_measures_intervals() {
+        let mut tracker = CostTracker::new();
+        tracker.charge_serial(VmType::M5_8xlarge, 100.0);
+        let snapshot = tracker.snapshot();
+        let zero = snapshot.delta(&tracker);
+        assert_eq!(zero.core_hours, 0.0);
+        assert_eq!(zero.runs, 0);
+        tracker.charge_parallel(VmType::M5_8xlarge, &[50.0, 80.0]);
+        let delta = snapshot.delta(&tracker);
+        assert!((delta.core_hours - 32.0 * 130.0 / 3600.0).abs() < 1e-9);
+        assert_eq!(delta.wall_clock_seconds, 80.0);
+        assert_eq!(delta.runs, 2);
     }
 
     #[test]

@@ -46,9 +46,9 @@ mod spec;
 mod time;
 mod vm;
 
-pub use cloud::{CloudEnvironment, DedicatedEnvironment, ObservedRun};
+pub use cloud::{CloudEnvironment, DedicatedEnvironment, ObservedRun, MAX_RUN_MULTIPLIER};
 pub use colocation::{ColocatedRun, ColocationOutcome, PlayerProgress};
-pub use cost::{CoreHours, CostTracker};
+pub use cost::{CoreHours, CostDelta, CostSnapshot, CostTracker};
 pub use interference::{
     BurstNoise, CompositeInterference, ConstantInterference, InterferenceModel,
     InterferenceProfile, RegimeNoise, ValueNoise,

@@ -1,41 +1,14 @@
 //! Playing a single game: a co-located execution of several configurations.
 
 use crate::score::rank_descending;
-use dg_cloudsim::{CloudEnvironment, ColocationOutcome};
+use dg_exec::{ExecutionBackend, GamePlay};
 use dg_workloads::{ConfigId, Workload};
 use serde::{Deserialize, Serialize};
 
-/// How a game should be driven.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct GameOptions {
-    /// Stop the game early when the leader is far enough ahead (Fig. 5).
-    pub early_termination: bool,
-    /// Work-done deviation `d` that triggers early termination.
-    pub work_done_deviation: f64,
-    /// Minimum leader progress before early termination is allowed.
-    pub min_leader_progress: f64,
-}
-
-impl Default for GameOptions {
-    fn default() -> Self {
-        Self {
-            early_termination: true,
-            work_done_deviation: 0.10,
-            min_leader_progress: 0.25,
-        }
-    }
-}
-
-impl GameOptions {
-    /// The options used in the playoffs and final: two-player games that run until the
-    /// faster player completes, with no early termination.
-    pub fn playoff() -> Self {
-        Self {
-            early_termination: false,
-            ..Self::default()
-        }
-    }
-}
+/// How a game should be driven. This is the backend-level [`dg_exec::GameRules`] type:
+/// the tournament layer decides the rules, the execution backend enforces them while
+/// the game runs.
+pub use dg_exec::GameRules as GameOptions;
 
 /// The result of one game.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,8 +25,8 @@ pub struct GameResult {
     pub elapsed: f64,
     /// Whether the game was stopped by the early-termination rule.
     pub early_terminated: bool,
-    /// The raw co-location outcome from the simulator.
-    pub outcome: ColocationOutcome,
+    /// The raw backend-level play (the committable unit of accounting).
+    pub play: GamePlay,
 }
 
 impl GameResult {
@@ -70,61 +43,30 @@ impl GameResult {
     }
 }
 
-/// Plays one game among `configs` on the given cloud node.
+/// Plays one game among `configs` on the given execution backend.
 ///
 /// The game runs until the fastest player completes its work, or — when early termination
 /// is enabled and the leader has completed at least `min_leader_progress` of its work —
 /// until the work-done gap between the leader and the runner-up exceeds
 /// `work_done_deviation`.
 ///
-/// The game's cost is **not** committed to the environment; the tournament phases decide
+/// The game's cost is **not** committed to the backend; the tournament phases decide
 /// whether games in a round are accounted serially or in parallel.
 ///
 /// # Panics
 ///
 /// Panics if `configs` is empty.
 pub fn play_game(
-    cloud: &mut CloudEnvironment,
+    exec: &mut dyn ExecutionBackend,
     workload: &Workload,
     configs: &[ConfigId],
     options: GameOptions,
 ) -> GameResult {
     assert!(!configs.is_empty(), "a game needs at least one player");
     let specs: Vec<_> = configs.iter().map(|id| workload.spec(*id)).collect();
-    let mut run = cloud.start_colocated(&specs);
-    let step = run.default_step();
-    // Safety cap: no game can run longer than a generous multiple of the slowest spec.
-    let max_seconds = specs.iter().map(|s| s.base_time()).fold(0.0_f64, f64::max) * 64.0;
+    let play = exec.play_game(&specs, &options);
 
-    let mut early_terminated = false;
-    while !run.any_finished() && run.elapsed() < max_seconds {
-        run.step(step);
-        if options.early_termination && configs.len() > 1 {
-            let fractions = run.work_fractions();
-            let leader = run.leader();
-            let leader_work = fractions[leader];
-            if leader_work >= options.min_leader_progress {
-                let runner_up = fractions
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| *i != leader)
-                    .map(|(_, w)| *w)
-                    .fold(0.0_f64, f64::max);
-                let gap = if leader_work > 0.0 {
-                    (leader_work - runner_up) / leader_work
-                } else {
-                    0.0
-                };
-                if gap >= options.work_done_deviation {
-                    early_terminated = true;
-                    break;
-                }
-            }
-        }
-    }
-
-    let outcome = run.into_outcome();
-    let execution_scores = outcome.execution_scores();
+    let execution_scores = play.execution_scores.clone();
     let ranks = rank_descending(&execution_scores);
     let winner = ranks
         .iter()
@@ -135,16 +77,16 @@ pub fn play_game(
         execution_scores,
         ranks,
         winner,
-        elapsed: outcome.elapsed(),
-        early_terminated,
-        outcome,
+        elapsed: play.elapsed,
+        early_terminated: play.early_terminated,
+        play,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dg_cloudsim::{InterferenceProfile, VmType};
+    use dg_cloudsim::{CloudEnvironment, InterferenceProfile, VmType};
     use dg_workloads::Application;
 
     fn setup() -> (Workload, CloudEnvironment) {
@@ -222,6 +164,15 @@ mod tests {
         let before = cloud.cost().core_hours();
         let _ = play_game(&mut cloud, &workload, &[0, 1], GameOptions::default());
         assert_eq!(cloud.cost().core_hours(), before);
+    }
+
+    #[test]
+    fn play_carries_the_accounting_triple() {
+        let (workload, mut cloud) = setup();
+        let result = play_game(&mut cloud, &workload, &[0, 1], GameOptions::default());
+        assert_eq!(result.play.players(), 2);
+        assert_eq!(result.play.elapsed, result.elapsed);
+        assert_eq!(result.play.execution_scores, result.execution_scores);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::config::TournamentConfig;
 use crate::game::{play_game, GameOptions};
 use crate::player::Player;
 use crate::score::combined_ranking;
-use dg_cloudsim::CloudEnvironment;
+use dg_exec::ExecutionBackend;
 use dg_workloads::{ConfigId, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -44,12 +44,12 @@ impl GlobalOutcome {
 
 /// Runs the global phase on the main tuning VM.
 pub fn run_global_phase(
-    cloud: &mut CloudEnvironment,
+    exec: &mut dyn ExecutionBackend,
     workload: &Workload,
     mut players: Vec<Player>,
     config: &TournamentConfig,
 ) -> GlobalOutcome {
-    let players_per_game = config.effective_players_per_game(cloud.vm().vcpus());
+    let players_per_game = config.effective_players_per_game(exec.vm().vcpus());
     let game_options = GameOptions {
         early_termination: config.ablation.early_termination,
         work_done_deviation: config.work_done_deviation,
@@ -72,8 +72,8 @@ pub fn run_global_phase(
         players.truncate(players_per_game.max(2));
         if players.len() >= 2 {
             let configs: Vec<ConfigId> = players.iter().map(Player::config).collect();
-            let result = play_game(cloud, workload, &configs, game_options);
-            cloud.commit(&result.outcome);
+            let result = play_game(exec, workload, &configs, game_options);
+            exec.commit(&result.play);
             games_played += 1;
             for (slot, player) in players.iter_mut().enumerate() {
                 player
@@ -114,7 +114,7 @@ pub fn run_global_phase(
                 continue;
             }
             let configs: Vec<ConfigId> = group.iter().map(|i| players[*i].config()).collect();
-            let result = play_game(cloud, workload, &configs, game_options);
+            let result = play_game(exec, workload, &configs, game_options);
             games_played += 1;
 
             // Record scores and decide the group winner by the combined ranking.
@@ -140,11 +140,11 @@ pub fn run_global_phase(
                     loser_bracket.push(players[group[slot]].clone());
                 }
             }
-            round_outcomes.push(result.outcome);
+            round_outcomes.push(result.play);
         }
 
         // Games within a round run on parallel VMs of the same type.
-        cloud.commit_parallel(&round_outcomes);
+        exec.commit_parallel(&round_outcomes);
 
         if winners.len() >= players.len() {
             // No reduction is possible (degenerate small input); stop to guarantee
@@ -167,8 +167,8 @@ pub fn run_global_phase(
         });
         loser_bracket.truncate(players_per_game);
         let configs: Vec<ConfigId> = loser_bracket.iter().map(Player::config).collect();
-        let result = play_game(cloud, workload, &configs, game_options);
-        cloud.commit(&result.outcome);
+        let result = play_game(exec, workload, &configs, game_options);
+        exec.commit(&result.play);
         games_played += 1;
         for (slot, player) in loser_bracket.iter_mut().enumerate() {
             player
@@ -221,7 +221,7 @@ fn build_diverse_groups(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dg_cloudsim::{InterferenceProfile, VmType};
+    use dg_cloudsim::{CloudEnvironment, InterferenceProfile, VmType};
     use dg_workloads::Application;
 
     fn setup() -> (Workload, CloudEnvironment, TournamentConfig) {

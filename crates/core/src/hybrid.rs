@@ -9,7 +9,8 @@
 
 use crate::config::TournamentConfig;
 use crate::tournament::DarwinGame;
-use dg_cloudsim::{CloudEnvironment, SimRng};
+use dg_cloudsim::SimRng;
+use dg_exec::ExecutionBackend;
 use dg_tuners::{GaussianProcess, SampleRecord, Tuner, TuningBudget, TuningOutcome};
 use dg_workloads::Workload;
 
@@ -197,7 +198,7 @@ impl<S: SubspaceStrategy> Tuner for HybridDarwinGame<S> {
     fn tune(
         &mut self,
         workload: &Workload,
-        cloud: &mut CloudEnvironment,
+        exec: &mut dyn ExecutionBackend,
         _budget: TuningBudget,
     ) -> TuningOutcome {
         let partition = workload.subspaces(self.subspaces);
@@ -219,7 +220,7 @@ impl<S: SubspaceStrategy> Tuner for HybridDarwinGame<S> {
             let mut tournament = self.tournament;
             tournament.search_range = Some((range.start, range.end));
             tournament.seed = dg_cloudsim::mix(self.tournament.seed, exploration as u64);
-            let report = DarwinGame::new(tournament).run(workload, cloud);
+            let report = DarwinGame::new(tournament).run(workload, exec);
 
             history.push((subspace, report.champion_observed_time));
             samples.push(SampleRecord {
@@ -250,7 +251,7 @@ impl<S: SubspaceStrategy> Tuner for HybridDarwinGame<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dg_cloudsim::{InterferenceProfile, VmType};
+    use dg_cloudsim::{CloudEnvironment, InterferenceProfile, VmType};
     use dg_workloads::Application;
 
     fn cloud(seed: u64) -> CloudEnvironment {

@@ -10,7 +10,7 @@
 use crate::config::TournamentConfig;
 use crate::game::{play_game, GameOptions};
 use crate::player::Player;
-use dg_cloudsim::CloudEnvironment;
+use dg_exec::ExecutionBackend;
 use dg_workloads::{ConfigId, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -33,7 +33,7 @@ pub struct PlayoffOutcome {
 ///
 /// Panics if `players` is empty.
 pub fn run_playoffs(
-    cloud: &mut CloudEnvironment,
+    exec: &mut dyn ExecutionBackend,
     workload: &Workload,
     mut players: Vec<Player>,
     config: &TournamentConfig,
@@ -43,7 +43,7 @@ pub fn run_playoffs(
 
     if players.len() == 1 {
         let champion = players.remove(0);
-        let observed = cloud
+        let observed = exec
             .run_single(workload.spec(champion.config()))
             .observed_time;
         return PlayoffOutcome {
@@ -62,20 +62,20 @@ pub fn run_playoffs(
             .then(a.config().cmp(&b.config()))
     });
 
-    let two_player_game = |cloud: &mut CloudEnvironment,
+    let two_player_game = |exec: &mut dyn ExecutionBackend,
                            a: &mut Player,
                            b: &mut Player,
                            games_played: &mut usize|
      -> (bool, f64) {
         let configs = [a.config(), b.config()];
-        let result = play_game(cloud, workload, &configs, GameOptions::playoff());
-        cloud.commit(&result.outcome);
+        let result = play_game(exec, workload, &configs, GameOptions::playoff());
+        exec.commit(&result.play);
         *games_played += 1;
         a.scores_mut()
             .record_game(result.execution_scores[0], result.ranks[0]);
         b.scores_mut()
             .record_game(result.execution_scores[1], result.ranks[1]);
-        let winner_time = result.outcome.observed_times()[result.winner];
+        let winner_time = result.play.observed_times[result.winner];
         (result.winner == 0, winner_time)
     };
 
@@ -90,8 +90,8 @@ pub fn run_playoffs(
             work_done_deviation: config.work_done_deviation,
             min_leader_progress: config.min_leader_progress,
         };
-        let result = play_game(cloud, workload, &configs, game_options);
-        cloud.commit(&result.outcome);
+        let result = play_game(exec, workload, &configs, game_options);
+        exec.commit(&result.play);
         games_played += 1;
         for (slot, player) in players.iter_mut().enumerate() {
             player
@@ -108,12 +108,12 @@ pub fn run_playoffs(
         // Game 1: the two best players; the winner goes to the final.
         let mut p0 = players[0].clone();
         let mut p1 = players[1].clone();
-        let (first_won, _) = two_player_game(cloud, &mut p0, &mut p1, &mut games_played);
+        let (first_won, _) = two_player_game(exec, &mut p0, &mut p1, &mut games_played);
         let (game1_winner, game1_loser) = if first_won { (p0, p1) } else { (p1, p0) };
         // Game 2: the loser of game 1 against the remaining player.
         let mut loser = game1_loser;
         let mut p2 = players[2].clone();
-        let (loser_won, _) = two_player_game(cloud, &mut loser, &mut p2, &mut games_played);
+        let (loser_won, _) = two_player_game(exec, &mut loser, &mut p2, &mut games_played);
         finalist_a = game1_winner;
         finalist_b = if loser_won { loser } else { p2 };
     } else {
@@ -123,22 +123,22 @@ pub fn run_playoffs(
         let mut p2 = players[2].clone();
         let mut p3 = players[3].clone();
         // Game 1: top two; winner straight to the final.
-        let (first_won, _) = two_player_game(cloud, &mut p0, &mut p1, &mut games_played);
+        let (first_won, _) = two_player_game(exec, &mut p0, &mut p1, &mut games_played);
         let (game1_winner, game1_loser) = if first_won { (p0, p1) } else { (p1, p0) };
         // Game 2: bottom two; loser eliminated.
-        let (third_won, _) = two_player_game(cloud, &mut p2, &mut p3, &mut games_played);
+        let (third_won, _) = two_player_game(exec, &mut p2, &mut p3, &mut games_played);
         let game2_winner = if third_won { p2 } else { p3 };
         // Game 3: loser of game 1 vs winner of game 2; winner is the second finalist.
         let mut loser = game1_loser;
         let mut challenger = game2_winner;
-        let (loser_won, _) = two_player_game(cloud, &mut loser, &mut challenger, &mut games_played);
+        let (loser_won, _) = two_player_game(exec, &mut loser, &mut challenger, &mut games_played);
         finalist_a = game1_winner;
         finalist_b = if loser_won { loser } else { challenger };
     }
 
     // The final: a single head-to-head game; whoever finishes first wins.
     let (a_won, winner_time) =
-        two_player_game(cloud, &mut finalist_a, &mut finalist_b, &mut games_played);
+        two_player_game(exec, &mut finalist_a, &mut finalist_b, &mut games_played);
     let (champion, runner_up) = if a_won {
         (finalist_a, finalist_b)
     } else {
@@ -156,7 +156,7 @@ pub fn run_playoffs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dg_cloudsim::{InterferenceProfile, VmType};
+    use dg_cloudsim::{CloudEnvironment, InterferenceProfile, VmType};
     use dg_workloads::Application;
 
     fn setup() -> (Workload, CloudEnvironment, TournamentConfig) {

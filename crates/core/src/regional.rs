@@ -12,7 +12,8 @@
 use crate::config::TournamentConfig;
 use crate::game::{play_game, GameOptions};
 use crate::player::Player;
-use dg_cloudsim::{CloudEnvironment, CostTracker, InterferenceProfile, SimRng, VmType};
+use dg_cloudsim::{CostTracker, SimRng};
+use dg_exec::ExecutionBackend;
 use dg_workloads::{ConfigId, IndexPartition, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -31,24 +32,28 @@ pub struct RegionalOutcome {
     pub wall_clock_seconds: f64,
 }
 
-/// Plays the Swiss-style tournament inside one region, on its own simulated VM.
+/// The deterministic seed of one region's sub-environment.
+fn region_seed(config: &TournamentConfig, region: usize) -> u64 {
+    dg_cloudsim::mix(config.seed, 0x4e67 ^ region as u64)
+}
+
+/// Plays the Swiss-style tournament inside one region, on its own execution backend.
 ///
 /// Regions are independent by construction (the paper runs them on separate VMs in
-/// parallel), so each gets its own [`CloudEnvironment`] derived from the tournament seed
-/// and the region index.
+/// parallel), so each plays on a backend forked from the main one with a seed derived
+/// from the tournament seed and the region index — see
+/// [`run_regional_phase`], which performs the forking. `exec` must be a fresh fork (its
+/// cost tracker becomes the region's bill).
 pub fn run_region(
     workload: &Workload,
     partition: &IndexPartition,
     region: usize,
     offset: u64,
-    vm: VmType,
-    profile: &InterferenceProfile,
+    exec: &mut dyn ExecutionBackend,
     config: &TournamentConfig,
 ) -> RegionalOutcome {
-    let region_seed = dg_cloudsim::mix(config.seed, 0x4e67 ^ region as u64);
-    let mut cloud = CloudEnvironment::new(vm, profile.clone(), region_seed);
-    let mut rng = SimRng::new(region_seed).derive("regional");
-    let players_per_game = config.effective_players_per_game(vm.vcpus());
+    let mut rng = SimRng::new(exec.seed()).derive("regional");
+    let players_per_game = config.effective_players_per_game(exec.vm().vcpus());
 
     let game_options = GameOptions {
         early_termination: config.ablation.early_termination,
@@ -117,8 +122,8 @@ pub fn run_region(
         }
 
         let configs: Vec<ConfigId> = participants.iter().map(|i| players[*i].config()).collect();
-        let result = play_game(&mut cloud, workload, &configs, game_options);
-        cloud.commit(&result.outcome);
+        let result = play_game(exec, workload, &configs, game_options);
+        exec.commit(&result.play);
         games_played += 1;
 
         for (slot, player_index) in participants.iter().enumerate() {
@@ -173,26 +178,34 @@ pub fn run_region(
         region,
         winners,
         games_played,
-        core_hours: cloud.cost().core_hours(),
-        wall_clock_seconds: cloud.cost().wall_clock_seconds(),
+        core_hours: exec.cost().core_hours(),
+        wall_clock_seconds: exec.cost().wall_clock_seconds(),
     }
 }
 
 /// Runs every region and aggregates the results.
 ///
-/// Regions run on independent simulated VMs; `parallel_regions` only controls whether the
-/// host uses worker threads, not the simulated cost model (regions are always charged as
-/// if they ran concurrently on separate VMs, so the aggregate wall clock is the longest
-/// region, per Fig. 6's "played in parallel").
+/// Every region plays on its own sub-backend, forked from `exec` with a seed derived
+/// from the tournament seed and the region index (forking happens up front, in region
+/// order, so recording backends assign stream keys deterministically).
+/// `parallel_regions` only controls whether the host uses worker threads, not the
+/// simulated cost model (regions are always charged as if they ran concurrently on
+/// separate VMs, so the aggregate wall clock is the longest region, per Fig. 6's
+/// "played in parallel").
 pub fn run_regional_phase(
     workload: &Workload,
     partition: &IndexPartition,
     offset: u64,
-    vm: VmType,
-    profile: &InterferenceProfile,
+    exec: &mut dyn ExecutionBackend,
     config: &TournamentConfig,
 ) -> (Vec<RegionalOutcome>, CostTracker) {
-    let regions: Vec<usize> = (0..partition.parts()).collect();
+    let vm = exec.vm();
+    let backends: Vec<Box<dyn ExecutionBackend>> = (0..partition.parts())
+        .map(|region| exec.fork(region_seed(config, region)))
+        .collect();
+    let regions: Vec<(usize, Box<dyn ExecutionBackend>)> =
+        backends.into_iter().enumerate().collect();
+
     let outcomes: Vec<RegionalOutcome> = if config.parallel_regions && regions.len() > 1 {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -200,17 +213,31 @@ pub fn run_regional_phase(
             .min(regions.len());
         let chunk_size = regions.len().div_ceil(threads);
         let mut results: Vec<Option<RegionalOutcome>> = vec![None; regions.len()];
+        let mut chunks: Vec<Vec<(usize, Box<dyn ExecutionBackend>)>> = Vec::new();
+        {
+            let mut regions = regions;
+            while !regions.is_empty() {
+                let take = chunk_size.min(regions.len());
+                chunks.push(regions.drain(..take).collect());
+            }
+        }
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (chunk_index, chunk) in regions.chunks(chunk_size).enumerate() {
-                let chunk: Vec<usize> = chunk.to_vec();
+            for (chunk_index, chunk) in chunks.into_iter().enumerate() {
                 handles.push((
                     chunk_index,
                     scope.spawn(move |_| {
                         chunk
                             .into_iter()
-                            .map(|region| {
-                                run_region(workload, partition, region, offset, vm, profile, config)
+                            .map(|(region, mut backend)| {
+                                run_region(
+                                    workload,
+                                    partition,
+                                    region,
+                                    offset,
+                                    backend.as_mut(),
+                                    config,
+                                )
                             })
                             .collect::<Vec<_>>()
                     }),
@@ -231,7 +258,16 @@ pub fn run_regional_phase(
     } else {
         regions
             .into_iter()
-            .map(|region| run_region(workload, partition, region, offset, vm, profile, config))
+            .map(|(region, mut backend)| {
+                run_region(
+                    workload,
+                    partition,
+                    region,
+                    offset,
+                    backend.as_mut(),
+                    config,
+                )
+            })
             .collect()
     };
 
@@ -245,6 +281,7 @@ pub fn run_regional_phase(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dg_cloudsim::{CloudEnvironment, InterferenceProfile, VmType};
     use dg_workloads::Application;
 
     fn setup(regions: usize) -> (Workload, IndexPartition, TournamentConfig) {
@@ -256,18 +293,17 @@ mod tests {
         (workload, partition, config)
     }
 
+    /// A fresh region backend, forked the way `run_regional_phase` does it.
+    fn region_backend(config: &TournamentConfig, region: usize) -> Box<dyn ExecutionBackend> {
+        let mut main = CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 1);
+        ExecutionBackend::fork(&mut main, region_seed(config, region))
+    }
+
     #[test]
     fn region_produces_winners_with_score_history() {
         let (workload, partition, config) = setup(16);
-        let outcome = run_region(
-            &workload,
-            &partition,
-            3,
-            0,
-            VmType::M5_8xlarge,
-            &InterferenceProfile::typical(),
-            &config,
-        );
+        let mut exec = region_backend(&config, 3);
+        let outcome = run_region(&workload, &partition, 3, 0, exec.as_mut(), &config);
         assert!(!outcome.winners.is_empty());
         assert!(outcome.games_played >= 1);
         assert!(outcome.core_hours > 0.0);
@@ -283,15 +319,8 @@ mod tests {
     fn single_winner_ablation_limits_winners() {
         let (workload, partition, mut config) = setup(16);
         config.ablation.single_regional_winner = true;
-        let outcome = run_region(
-            &workload,
-            &partition,
-            0,
-            0,
-            VmType::M5_8xlarge,
-            &InterferenceProfile::typical(),
-            &config,
-        );
+        let mut exec = region_backend(&config, 0);
+        let outcome = run_region(&workload, &partition, 0, 0, exec.as_mut(), &config);
         assert_eq!(outcome.winners.len(), 1);
     }
 
@@ -299,30 +328,16 @@ mod tests {
     fn non_swiss_ablation_plays_single_game() {
         let (workload, partition, mut config) = setup(16);
         config.ablation.swiss_regional = false;
-        let outcome = run_region(
-            &workload,
-            &partition,
-            1,
-            0,
-            VmType::M5_8xlarge,
-            &InterferenceProfile::typical(),
-            &config,
-        );
+        let mut exec = region_backend(&config, 1);
+        let outcome = run_region(&workload, &partition, 1, 0, exec.as_mut(), &config);
         assert_eq!(outcome.games_played, 1);
     }
 
     #[test]
     fn regional_winners_are_better_than_region_average() {
         let (workload, partition, config) = setup(8);
-        let outcome = run_region(
-            &workload,
-            &partition,
-            2,
-            0,
-            VmType::M5_8xlarge,
-            &InterferenceProfile::typical(),
-            &config,
-        );
+        let mut exec = region_backend(&config, 2);
+        let outcome = run_region(&workload, &partition, 2, 0, exec.as_mut(), &config);
         let winner_best = outcome
             .winners
             .iter()
@@ -341,14 +356,8 @@ mod tests {
     #[test]
     fn phase_aggregates_cost_in_parallel() {
         let (workload, partition, config) = setup(4);
-        let (outcomes, cost) = run_regional_phase(
-            &workload,
-            &partition,
-            0,
-            VmType::M5_8xlarge,
-            &InterferenceProfile::typical(),
-            &config,
-        );
+        let mut main = CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 1);
+        let (outcomes, cost) = run_regional_phase(&workload, &partition, 0, &mut main, &config);
         assert_eq!(outcomes.len(), 4);
         let total_region_hours: f64 = outcomes.iter().map(|o| o.core_hours).sum();
         assert!((cost.core_hours() - total_region_hours).abs() / total_region_hours < 0.05);
@@ -357,29 +366,22 @@ mod tests {
             .map(|o| o.wall_clock_seconds)
             .fold(0.0_f64, f64::max);
         assert!((cost.wall_clock_seconds() - longest).abs() < 1e-6);
+        // The regions' games never touch the main backend's own accounting.
+        assert_eq!(main.cost().core_hours(), 0.0);
     }
 
     #[test]
     fn parallel_and_sequential_regions_agree() {
         let (workload, partition, mut config) = setup(4);
+        let run_phase = |config: &TournamentConfig| {
+            let mut main =
+                CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 1);
+            run_regional_phase(&workload, &partition, 0, &mut main, config).0
+        };
         config.parallel_regions = false;
-        let (sequential, _) = run_regional_phase(
-            &workload,
-            &partition,
-            0,
-            VmType::M5_8xlarge,
-            &InterferenceProfile::typical(),
-            &config,
-        );
+        let sequential = run_phase(&config);
         config.parallel_regions = true;
-        let (parallel, _) = run_regional_phase(
-            &workload,
-            &partition,
-            0,
-            VmType::M5_8xlarge,
-            &InterferenceProfile::typical(),
-            &config,
-        );
+        let parallel = run_phase(&config);
         let winners = |outcomes: &[RegionalOutcome]| -> Vec<ConfigId> {
             outcomes
                 .iter()

@@ -6,7 +6,8 @@ use crate::player::Player;
 use crate::playoffs::run_playoffs;
 use crate::regional::run_regional_phase;
 use crate::report::{PhaseSummary, TournamentReport};
-use dg_cloudsim::{CloudEnvironment, CostTracker, SimRng};
+use dg_cloudsim::{CostTracker, SimRng};
+use dg_exec::ExecutionBackend;
 use dg_tuners::{Tuner, TuningBudget, TuningOutcome};
 use dg_workloads::{IndexPartition, Workload};
 
@@ -56,9 +57,11 @@ impl DarwinGame {
 
     /// Plays the full tournament for `workload` and returns the detailed report.
     ///
-    /// The regional phase runs on per-region simulated VMs (same type and interference
-    /// profile as `cloud`); the global phase, playoffs, and final run on `cloud` itself.
-    pub fn run(&self, workload: &Workload, cloud: &mut CloudEnvironment) -> TournamentReport {
+    /// The regional phase runs on per-region sub-backends forked from `exec` (same VM
+    /// type and interference profile); the global phase, playoffs, and final run on
+    /// `exec` itself. Any [`ExecutionBackend`] works: the cloud simulator (the
+    /// default), a trace recorder/replayer, or a memoizing wrapper.
+    pub fn run(&self, workload: &Workload, exec: &mut dyn ExecutionBackend) -> TournamentReport {
         let config = &self.config;
         let size = workload.size();
         let (offset, span) = match config.search_range {
@@ -72,15 +75,12 @@ impl DarwinGame {
         let regions = config.regions.min(span as usize).max(1);
         let partition = IndexPartition::new(span, regions);
 
-        let vm = cloud.vm();
-        let profile = cloud.profile().clone();
-        let main_core_hours_start = cloud.cost().core_hours();
-        let main_wall_start = cloud.cost().wall_clock_seconds();
+        let vm = exec.vm();
+        let main_start = exec.cost().snapshot();
 
         // -------- Phase I: regional (Swiss style) --------
         let (entrants, regional_cost, regional_games) = if config.ablation.regional_phase {
-            let (outcomes, cost) =
-                run_regional_phase(workload, &partition, offset, vm, &profile, config);
+            let (outcomes, cost) = run_regional_phase(workload, &partition, offset, exec, config);
             let games = outcomes.iter().map(|o| o.games_played).sum();
             let players: Vec<Player> = outcomes.into_iter().flat_map(|o| o.winners).collect();
             (players, cost, games)
@@ -111,19 +111,18 @@ impl DarwinGame {
         let regional_winner_count = entrants.len();
 
         // -------- Phase II: global (double elimination) --------
-        let global_core_hours_start = cloud.cost().core_hours();
-        let global = run_global_phase(cloud, workload, entrants, config);
-        let global_core_hours = cloud.cost().core_hours() - global_core_hours_start;
+        let global_start = exec.cost().snapshot();
+        let global = run_global_phase(exec, workload, entrants, config);
+        let global_core_hours = global_start.delta(exec.cost()).core_hours;
 
         // -------- Phases III & IV: playoffs (barrage) and final --------
         let playoff_players = global.playoff_players();
         let playoff_entrants = playoff_players.len();
-        let playoffs_core_hours_start = cloud.cost().core_hours();
-        let playoffs = run_playoffs(cloud, workload, playoff_players, config);
-        let playoffs_core_hours = cloud.cost().core_hours() - playoffs_core_hours_start;
+        let playoffs_start = exec.cost().snapshot();
+        let playoffs = run_playoffs(exec, workload, playoff_players, config);
+        let playoffs_core_hours = playoffs_start.delta(exec.cost()).core_hours;
 
-        let main_core_hours = cloud.cost().core_hours() - main_core_hours_start;
-        let main_wall = cloud.cost().wall_clock_seconds() - main_wall_start;
+        let main_delta = main_start.delta(exec.cost());
 
         TournamentReport {
             champion: playoffs.champion.config(),
@@ -131,8 +130,8 @@ impl DarwinGame {
             champion_observed_time: playoffs.champion_observed_time,
             regional_winners: regional_winner_count,
             games_played: regional_games + global.games_played + playoffs.games_played,
-            core_hours: regional_cost.core_hours() + main_core_hours,
-            wall_clock_seconds: regional_cost.wall_clock_seconds() + main_wall,
+            core_hours: regional_cost.core_hours() + main_delta.core_hours,
+            wall_clock_seconds: regional_cost.wall_clock_seconds() + main_delta.wall_clock_seconds,
             phases: vec![
                 PhaseSummary {
                     name: "regional".into(),
@@ -171,17 +170,17 @@ impl Tuner for DarwinGame {
     fn tune(
         &mut self,
         workload: &Workload,
-        cloud: &mut CloudEnvironment,
+        exec: &mut dyn ExecutionBackend,
         _budget: TuningBudget,
     ) -> TuningOutcome {
-        self.run(workload, cloud).to_outcome()
+        self.run(workload, exec).to_outcome()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dg_cloudsim::{InterferenceProfile, VmType};
+    use dg_cloudsim::{CloudEnvironment, InterferenceProfile, VmType};
     use dg_workloads::Application;
 
     fn small_config(regions: usize, seed: u64) -> TournamentConfig {

@@ -1,0 +1,212 @@
+//! The [`ExecutionBackend`] trait: everything the tuning stack asks of an execution
+//! environment.
+
+use dg_cloudsim::{CostTracker, ExecutionSpec, InterferenceProfile, ObservedRun, SimTime, VmType};
+use serde::{Deserialize, Serialize};
+
+/// How a co-located game should be driven.
+///
+/// These are the game-termination rules of Fig. 5 of the paper: the game runs until the
+/// fastest player completes, or — when early termination is enabled and the leader has
+/// completed at least `min_leader_progress` of its work — until the work-done gap
+/// between the leader and the runner-up exceeds `work_done_deviation`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GameRules {
+    /// Stop the game early when the leader is far enough ahead (Fig. 5).
+    pub early_termination: bool,
+    /// Work-done deviation `d` that triggers early termination.
+    pub work_done_deviation: f64,
+    /// Minimum leader progress before early termination is allowed.
+    pub min_leader_progress: f64,
+}
+
+impl Default for GameRules {
+    fn default() -> Self {
+        Self {
+            early_termination: true,
+            work_done_deviation: 0.10,
+            min_leader_progress: 0.25,
+        }
+    }
+}
+
+impl GameRules {
+    /// The rules used in the playoffs and final: two-player games that run until the
+    /// faster player completes, with no early termination.
+    pub fn playoff() -> Self {
+        Self {
+            early_termination: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// The backend-level result of one co-located game: exactly the observations the
+/// tournament layer consumes, with no reference back to the simulator.
+///
+/// A `GamePlay` is *uncommitted*: playing a game does not charge cost or advance the
+/// backend's clock. The tournament phases decide whether a round's games are accounted
+/// serially ([`ExecutionBackend::commit`]) or in parallel
+/// ([`ExecutionBackend::commit_parallel`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GamePlay {
+    /// Simulated time at which the game started.
+    pub start: SimTime,
+    /// Wall-clock seconds the game occupied its node (the quantity committed to the
+    /// cost tracker).
+    pub elapsed: f64,
+    /// Observed (or extrapolated) execution time per player, in player order.
+    pub observed_times: Vec<f64>,
+    /// Execution score per player (work done relative to the best player, in `[0, 1]`).
+    pub execution_scores: Vec<f64>,
+    /// Whether the game was stopped by the early-termination rule.
+    pub early_terminated: bool,
+}
+
+impl GamePlay {
+    /// Number of players in the game.
+    pub fn players(&self) -> usize {
+        self.observed_times.len()
+    }
+}
+
+/// An execution environment the tuning stack runs against.
+///
+/// This trait captures the complete surface the engine needs from an environment — play
+/// a co-located game, evaluate one configuration solo, observe without charging, charge
+/// cost, fork per-region sub-environments, and expose the clock/cost/RNG identity —
+/// so every layer above (`darwin-core` tournament phases, the `CloudEvaluator` all
+/// baselines sample through, `dg-campaign` cells) is written against `&mut dyn
+/// ExecutionBackend` instead of the concrete simulator.
+///
+/// Implementations in this crate:
+///
+/// * [`SimBackend`](crate::SimBackend) — wraps `dg_cloudsim::CloudEnvironment` (the
+///   default; `CloudEnvironment` itself also implements the trait);
+/// * [`RecordingBackend`](crate::RecordingBackend) / [`ReplayBackend`](crate::ReplayBackend)
+///   — record every outcome to an [`ExecutionTrace`](crate::ExecutionTrace), then replay
+///   it with zero resimulation;
+/// * [`MemoBackend`](crate::MemoBackend) — a composable wrapper memoising solo
+///   evaluations.
+pub trait ExecutionBackend: Send {
+    /// The VM type this backend executes on.
+    fn vm(&self) -> VmType;
+
+    /// The interference profile of the node.
+    fn profile(&self) -> &InterferenceProfile;
+
+    /// The root seed identifying this backend's noise realisation (forked sub-backends
+    /// report the seed they were forked with).
+    fn seed(&self) -> u64;
+
+    /// The current simulated wall-clock time.
+    fn clock(&self) -> SimTime;
+
+    /// Moves the wall clock to `t` (used to start tuning sessions at different times of
+    /// day, as in Fig. 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current clock.
+    fn set_clock(&mut self, t: SimTime);
+
+    /// Resources consumed so far.
+    fn cost(&self) -> &CostTracker;
+
+    /// Default number of players per game on this VM (its vCPU count), the paper's `P`.
+    fn players_per_game(&self) -> usize {
+        self.vm().vcpus()
+    }
+
+    /// Plays one co-located game among `specs` under `rules`, starting at the current
+    /// clock. The game's cost is **not** committed; pass the play to
+    /// [`commit`](Self::commit) or [`commit_parallel`](Self::commit_parallel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    fn play_game(&mut self, specs: &[ExecutionSpec], rules: &GameRules) -> GamePlay;
+
+    /// Evaluates a single configuration alone on the node, committing its cost and
+    /// advancing the clock.
+    fn run_single(&mut self, spec: ExecutionSpec) -> ObservedRun;
+
+    /// Observes a single run of `spec` starting at `start`, *without* committing cost
+    /// or advancing the clock. The `salt` decorrelates repeated observations at the
+    /// same start time.
+    fn observe_single_at(&mut self, spec: ExecutionSpec, start: SimTime, salt: u64) -> f64;
+
+    /// Observes `count` runs of `spec`, spaced `spacing_seconds` apart starting from
+    /// the current clock, without committing cost.
+    fn observe_repeated(
+        &mut self,
+        spec: ExecutionSpec,
+        count: usize,
+        spacing_seconds: f64,
+    ) -> Vec<f64> {
+        (0..count)
+            .map(|i| {
+                let start = self.clock() + spacing_seconds * i as f64;
+                self.observe_single_at(spec, start, i as u64)
+            })
+            .collect()
+    }
+
+    /// Accounts for a finished game and advances the wall clock by its elapsed time.
+    fn commit(&mut self, play: &GamePlay);
+
+    /// Accounts for a batch of games that ran concurrently on identical VMs: every game
+    /// is charged in core-hours but the clock advances only by the longest one.
+    fn commit_parallel(&mut self, plays: &[GamePlay]);
+
+    /// Creates an independent sub-environment of the same kind — same VM type and
+    /// interference profile, noise realisation derived from `seed`. The tournament's
+    /// regional phase forks one sub-environment per region, the way the paper runs
+    /// regions on separate VMs.
+    fn fork(&mut self, seed: u64) -> Box<dyn ExecutionBackend>;
+}
+
+/// A factory of [`ExecutionBackend`]s, one per independent execution stream.
+///
+/// Campaign executors create one backend per grid cell; the `stream` label names the
+/// cell (e.g. `"cell-17"`) so recording providers can key their traces by it and replay
+/// providers can find the matching stream again.
+pub trait BackendProvider: Send + Sync {
+    /// Creates the backend for the execution stream `stream` on the given VM type,
+    /// interference profile, and root seed.
+    fn backend(
+        &self,
+        stream: &str,
+        vm: VmType,
+        profile: &InterferenceProfile,
+        seed: u64,
+    ) -> Box<dyn ExecutionBackend>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rules_match_the_paper() {
+        let rules = GameRules::default();
+        assert!(rules.early_termination);
+        assert_eq!(rules.work_done_deviation, 0.10);
+        assert_eq!(rules.min_leader_progress, 0.25);
+        let playoff = GameRules::playoff();
+        assert!(!playoff.early_termination);
+        assert_eq!(playoff.work_done_deviation, rules.work_done_deviation);
+    }
+
+    #[test]
+    fn game_play_reports_player_count() {
+        let play = GamePlay {
+            start: SimTime::ZERO,
+            elapsed: 10.0,
+            observed_times: vec![10.0, 12.0],
+            execution_scores: vec![1.0, 0.8],
+            early_terminated: false,
+        };
+        assert_eq!(play.players(), 2);
+    }
+}

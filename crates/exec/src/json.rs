@@ -1,22 +1,21 @@
-//! Canonical JSON emission and parsing.
+//! Canonical JSON emission and parsing, shared by every wire format in the workspace.
 //!
-//! The vendored `serde` is a no-op shim (see `vendor/README.md`), so campaign reports
-//! serialize through this small hand-rolled writer instead. The output is *canonical*:
-//! fixed key order, no whitespace, and floats rendered with Rust's shortest-round-trip
-//! `Display` — so two reports with identical contents produce byte-identical strings,
-//! which the campaign determinism tests (1 worker vs N workers) rely on.
+//! The vendored `serde` is a no-op shim (see `vendor/README.md`), so campaign reports,
+//! shard reports, and execution traces all serialize through this small hand-rolled
+//! writer instead. The output is *canonical*: fixed key order, no whitespace, and
+//! floats rendered with Rust's shortest-round-trip `Display` — so two documents with
+//! identical contents produce byte-identical strings, which the determinism tests
+//! (1 worker vs N workers, record vs replay) rely on.
 //!
-//! Sharded campaigns also need the reverse direction: shard processes hand their
-//! results to the merging process as JSON files, so [`parse`] implements a minimal
-//! recursive-descent JSON reader. Numbers keep their **raw token** ([`JsonValue::
-//! Number`]) instead of being eagerly converted, so integer fields parse exactly
-//! (`u64` seeds above 2^53 survive) and float fields round-trip bit for bit through
-//! Rust's shortest-round-trip rendering.
+//! The reverse direction is a minimal recursive-descent JSON reader ([`parse`]).
+//! Numbers keep their **raw token** ([`JsonValue::Number`]) instead of being eagerly
+//! converted, so integer fields parse exactly (`u64` seeds above 2^53 survive) and
+//! float fields round-trip bit for bit through Rust's shortest-round-trip rendering.
 
 use std::fmt::Write as _;
 
 /// Appends a JSON string literal (with escaping) to `out`.
-pub(crate) fn push_str_literal(out: &mut String, value: &str) {
+pub fn push_str_literal(out: &mut String, value: &str) {
     out.push('"');
     for c in value.chars() {
         match c {
@@ -36,7 +35,7 @@ pub(crate) fn push_str_literal(out: &mut String, value: &str) {
 
 /// Appends a JSON number for `value`; non-finite values become `null` (JSON has no
 /// representation for them).
-pub(crate) fn push_f64(out: &mut String, value: f64) {
+pub fn push_f64(out: &mut String, value: f64) {
     if value.is_finite() {
         // Rust's f64 Display is the shortest decimal string that round-trips, never in
         // scientific notation — both JSON-valid and deterministic.
@@ -47,7 +46,7 @@ pub(crate) fn push_f64(out: &mut String, value: f64) {
 }
 
 /// Appends `"key":` to an object body, handling the leading comma.
-pub(crate) fn push_key(out: &mut String, first: &mut bool, key: &str) {
+pub fn push_key(out: &mut String, first: &mut bool, key: &str) {
     if !*first {
         out.push(',');
     }
@@ -59,7 +58,7 @@ pub(crate) fn push_key(out: &mut String, first: &mut bool, key: &str) {
 /// A parsed JSON value. Object keys keep their document order; numbers keep their raw
 /// token so callers decide the target type without precision loss.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum JsonValue {
+pub enum JsonValue {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -76,7 +75,7 @@ pub(crate) enum JsonValue {
 
 impl JsonValue {
     /// Looks up `key` in an object; `None` for missing keys or non-objects.
-    pub(crate) fn get(&self, key: &str) -> Option<&JsonValue> {
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
             JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -84,7 +83,7 @@ impl JsonValue {
     }
 
     /// The string payload, if this is a string.
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             JsonValue::Str(s) => Some(s),
             _ => None,
@@ -92,7 +91,7 @@ impl JsonValue {
     }
 
     /// The boolean payload, if this is a boolean.
-    pub(crate) fn as_bool(&self) -> Option<bool> {
+    pub fn as_bool(&self) -> Option<bool> {
         match self {
             JsonValue::Bool(b) => Some(*b),
             _ => None,
@@ -100,7 +99,7 @@ impl JsonValue {
     }
 
     /// The raw number token, if this is a number.
-    pub(crate) fn number_token(&self) -> Option<&str> {
+    pub fn number_token(&self) -> Option<&str> {
         match self {
             JsonValue::Number(token) => Some(token),
             _ => None,
@@ -108,7 +107,7 @@ impl JsonValue {
     }
 
     /// The element list, if this is an array.
-    pub(crate) fn as_array(&self) -> Option<&[JsonValue]> {
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
         match self {
             JsonValue::Array(items) => Some(items),
             _ => None,
@@ -123,7 +122,7 @@ const MAX_DEPTH: usize = 64;
 
 /// Parses one JSON document. Returns a description of the first syntax error (with a
 /// byte offset) on malformed input.
-pub(crate) fn parse(text: &str) -> Result<JsonValue, String> {
+pub fn parse(text: &str) -> Result<JsonValue, String> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         pos: 0,

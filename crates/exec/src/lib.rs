@@ -1,0 +1,53 @@
+//! Execution backends: the seam between the tuning engine and *how* configurations run.
+//!
+//! Every layer of the DarwinGame reproduction — the four tournament phases in
+//! `darwin-core`, the `CloudEvaluator` all baseline tuners sample through, and the
+//! `dg-campaign` cell executor — asks its environment for the same handful of
+//! operations: play a co-located game, evaluate one configuration solo, observe without
+//! charging, charge cost, fork per-region sub-environments. This crate captures that
+//! surface as the [`ExecutionBackend`] trait and ships three implementations:
+//!
+//! * [`SimBackend`] — wraps `dg_cloudsim::CloudEnvironment` and resimulates everything
+//!   (the default; `CloudEnvironment` itself also implements the trait, so existing
+//!   code keeps passing environments directly);
+//! * [`TraceRecorder`] / [`TraceReplayer`] — record every outcome into an
+//!   [`ExecutionTrace`] (canonical JSON), then replay a whole campaign byte-identical
+//!   to the live run with **zero** resimulation;
+//! * [`MemoBackend`] — a composable wrapper memoizing solo evaluations and
+//!   observations for exhaustive/oracle/grid-heavy paths.
+//!
+//! The [`BackendProvider`] trait is the factory side: campaign executors create one
+//! backend per grid cell through a provider, which is what makes recording and
+//! replaying whole campaigns a drop-in swap.
+//!
+//! # Quick example
+//!
+//! ```
+//! use dg_cloudsim::{ExecutionSpec, InterferenceProfile, VmType};
+//! use dg_exec::{ExecutionBackend, GameRules, SimBackend};
+//!
+//! let mut exec = SimBackend::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 42);
+//! let fast = ExecutionSpec::new(230.0, 0.8);
+//! let slow = ExecutionSpec::new(600.0, 0.2);
+//! let play = exec.play_game(&[fast, slow], &GameRules::default());
+//! assert!(play.observed_times[0] < play.observed_times[1]);
+//! exec.commit(&play);
+//! assert!(exec.cost().core_hours() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+pub mod json;
+mod memo;
+mod sim;
+mod trace;
+
+pub use backend::{BackendProvider, ExecutionBackend, GamePlay, GameRules};
+pub use memo::MemoBackend;
+pub use sim::{sim_ops, SimBackend, SimProvider};
+pub use trace::{
+    profile_label, ExecutionTrace, RecordingBackend, ReplayBackend, TraceError, TraceEvent,
+    TraceRecorder, TraceReplayer, TraceStream,
+};

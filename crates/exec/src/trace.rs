@@ -1,0 +1,1165 @@
+//! Record/replay execution backends and the canonical execution-trace format.
+//!
+//! Recording wraps any [`BackendProvider`] and writes every non-deterministic outcome
+//! the inner backends produce — games, solo evaluations, observations, forks — into an
+//! [`ExecutionTrace`], keyed by execution stream. Replaying turns the trace back into
+//! backends that answer every request from the recorded events, with **zero**
+//! resimulation: a recorded campaign replays byte-identical to the live run (the cost
+//! arithmetic is re-applied to the recorded elapsed times through the exact code path
+//! the simulator uses), at a tiny fraction of the cost.
+//!
+//! Traces serialize to canonical JSON (fixed key order, no whitespace, shortest
+//! round-trip floats — see [`crate::json`]), so a trace file is a stable, diffable
+//! artifact. Non-finite floats, which JSON cannot express as numbers, are encoded as
+//! the strings `"inf"`, `"-inf"`, and `"nan"`.
+//!
+//! # Trace schema
+//!
+//! ```json
+//! {"campaign": "fig15-vm-sweep",
+//!  "fingerprint": 1234567890123456789,
+//!  "streams": [
+//!    {"key": "cell-0", "vm": "m5.8xlarge", "profile": "typical", "seed": 42,
+//!     "events": [
+//!       {"op":"game","specs":[[230.5,0.8],[400.0,0.2]],"rules":[true,0.1,0.25],
+//!        "start":0,"elapsed":245.25,"times":[244.1,410.9],"scores":[1,0.59],
+//!        "early":false},
+//!       {"op":"single","spec":[230.5,0.8],"time":244.1,"start":245.25,"elapsed":245.5},
+//!       {"op":"observe","spec":[230.5,0.8],"at":1800,"salt":3,"time":244.9},
+//!       {"op":"fork","seed":777}
+//!     ]}
+//!  ]}
+//! ```
+//!
+//! Replay is strict: each stream's events must be consumed in order by the same
+//! operations with the same arguments, and the trace's spec fingerprint must match the
+//! campaign it is replayed against (typed [`TraceError`]s for the campaign-level
+//! checks, descriptive panics for mid-stream divergence, which can only be reached by
+//! driving a backend differently than it was recorded).
+
+use crate::backend::{BackendProvider, ExecutionBackend, GamePlay, GameRules};
+use crate::json::{self, push_f64, push_key, push_str_literal, JsonValue};
+use dg_cloudsim::{CostTracker, ExecutionSpec, InterferenceProfile, ObservedRun, SimTime, VmType};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// A short, human-readable label for an interference profile, used in trace stream
+/// headers, campaign cell results, group keys, and JSON output.
+///
+/// The label is injective over the profile's parameters (distinct `Constant`/`Custom`
+/// profiles get distinct labels), because it doubles as part of report group keys and
+/// trace-header validation.
+pub fn profile_label(profile: &InterferenceProfile) -> String {
+    match profile {
+        InterferenceProfile::Dedicated => "dedicated".to_string(),
+        InterferenceProfile::Constant(level) => format!("constant({level})"),
+        InterferenceProfile::Typical => "typical".to_string(),
+        InterferenceProfile::Heavy => "heavy".to_string(),
+        InterferenceProfile::Custom {
+            base,
+            value_amplitude,
+            regime_scale,
+            burst_magnitude,
+        } => format!("custom({base},{value_amplitude},{regime_scale},{burst_magnitude})"),
+    }
+}
+
+/// One recorded backend operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A co-located game ([`ExecutionBackend::play_game`]).
+    Game {
+        /// The specs that played, in player order.
+        specs: Vec<ExecutionSpec>,
+        /// The rules the game was driven under.
+        rules: GameRules,
+        /// The recorded result.
+        play: GamePlay,
+    },
+    /// A committed solo evaluation ([`ExecutionBackend::run_single`]).
+    Single {
+        /// The evaluated spec.
+        spec: ExecutionSpec,
+        /// The recorded observation (including the charged `elapsed`).
+        run: ObservedRun,
+    },
+    /// A cost-free observation ([`ExecutionBackend::observe_single_at`]).
+    Observe {
+        /// The observed spec.
+        spec: ExecutionSpec,
+        /// The requested start time.
+        start: SimTime,
+        /// The requested decorrelation salt.
+        salt: u64,
+        /// The recorded observation.
+        time: f64,
+    },
+    /// A sub-environment fork ([`ExecutionBackend::fork`]); the child's events live in
+    /// their own stream keyed `<parent>/<ordinal>`.
+    Fork {
+        /// The seed the child was forked with.
+        seed: u64,
+    },
+}
+
+impl TraceEvent {
+    fn op(&self) -> &'static str {
+        match self {
+            TraceEvent::Game { .. } => "game",
+            TraceEvent::Single { .. } => "single",
+            TraceEvent::Observe { .. } => "observe",
+            TraceEvent::Fork { .. } => "fork",
+        }
+    }
+}
+
+/// The recorded event sequence of one execution stream (a campaign cell, a standalone
+/// backend, or a forked sub-environment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStream {
+    /// Stream key: the provider-supplied label for root streams, `<parent>/<ordinal>`
+    /// for forked sub-environments.
+    pub key: String,
+    /// Name of the VM type the stream executed on (header validation at replay).
+    pub vm: String,
+    /// Label of the interference profile (header validation at replay).
+    pub profile: String,
+    /// Root seed of the stream's backend.
+    pub seed: u64,
+    /// The recorded operations, in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// A full recorded execution: every stream of one campaign (or standalone run),
+/// plus the identity of the spec it was recorded from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionTrace {
+    /// Name of the campaign (or driver) the trace was recorded from.
+    pub campaign: String,
+    /// Fingerprint of the campaign spec (see `CampaignSpec::fingerprint`); replay
+    /// refuses traces whose fingerprint disagrees with the target spec.
+    pub fingerprint: u64,
+    streams: Vec<TraceStream>,
+}
+
+impl ExecutionTrace {
+    /// The recorded streams, always sorted by key (replay relies on the order for
+    /// binary-search lookups).
+    pub fn streams(&self) -> &[TraceStream] {
+        &self.streams
+    }
+
+    /// Looks up a stream by key.
+    pub fn stream(&self, key: &str) -> Option<&TraceStream> {
+        self.stream_index(key).map(|i| &self.streams[i])
+    }
+
+    fn stream_index(&self, key: &str) -> Option<usize> {
+        self.streams
+            .binary_search_by(|s| s.key.as_str().cmp(key))
+            .ok()
+    }
+
+    /// Total number of recorded events across all streams.
+    pub fn events_total(&self) -> usize {
+        self.streams.iter().map(|s| s.events.len()).sum()
+    }
+
+    /// Canonical JSON serialization: fixed key order, no whitespace, shortest
+    /// round-trip float rendering. Byte-identical for identical traces.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.events_total() * 128);
+        out.push('{');
+        let mut first = true;
+        push_key(&mut out, &mut first, "campaign");
+        push_str_literal(&mut out, &self.campaign);
+        push_key(&mut out, &mut first, "fingerprint");
+        let _ = write!(out, "{}", self.fingerprint);
+        push_key(&mut out, &mut first, "streams");
+        out.push('[');
+        for (i, stream) in self.streams.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            stream.to_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a trace from its canonical JSON form.
+    pub fn from_json(text: &str) -> Result<Self, TraceError> {
+        let root = json::parse(text).map_err(TraceError::Parse)?;
+        let campaign = get_str(&root, "campaign")?;
+        let fingerprint = get_u64(&root, "fingerprint")?;
+        let mut streams = Vec::new();
+        for value in get_array(&root, "streams")? {
+            streams.push(TraceStream::from_value(value)?);
+        }
+        // Canonicalize: streams are key-sorted (the writer always emits them sorted;
+        // sorting here keeps hand-edited documents working and lookups O(log n)).
+        streams.sort_by(|a, b| a.key.cmp(&b.key));
+        if streams.windows(2).any(|w| w[0].key == w[1].key) {
+            return Err(TraceError::Parse("duplicate stream keys".into()));
+        }
+        Ok(Self {
+            campaign,
+            fingerprint,
+            streams,
+        })
+    }
+}
+
+impl TraceStream {
+    fn to_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        push_key(out, &mut first, "key");
+        push_str_literal(out, &self.key);
+        push_key(out, &mut first, "vm");
+        push_str_literal(out, &self.vm);
+        push_key(out, &mut first, "profile");
+        push_str_literal(out, &self.profile);
+        push_key(out, &mut first, "seed");
+        let _ = write!(out, "{}", self.seed);
+        push_key(out, &mut first, "events");
+        out.push('[');
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            event.to_json(out);
+        }
+        out.push_str("]}");
+    }
+
+    fn from_value(value: &JsonValue) -> Result<Self, TraceError> {
+        let mut events = Vec::new();
+        for event in get_array(value, "events")? {
+            events.push(TraceEvent::from_value(event)?);
+        }
+        Ok(Self {
+            key: get_str(value, "key")?,
+            vm: get_str(value, "vm")?,
+            profile: get_str(value, "profile")?,
+            seed: get_u64(value, "seed")?,
+            events,
+        })
+    }
+}
+
+impl TraceEvent {
+    fn to_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        push_key(out, &mut first, "op");
+        push_str_literal(out, self.op());
+        match self {
+            TraceEvent::Game { specs, rules, play } => {
+                push_key(out, &mut first, "specs");
+                push_spec_array(out, specs);
+                push_key(out, &mut first, "rules");
+                let _ = write!(out, "[{}", rules.early_termination);
+                out.push(',');
+                push_trace_f64(out, rules.work_done_deviation);
+                out.push(',');
+                push_trace_f64(out, rules.min_leader_progress);
+                out.push(']');
+                push_key(out, &mut first, "start");
+                push_trace_f64(out, play.start.as_seconds());
+                push_key(out, &mut first, "elapsed");
+                push_trace_f64(out, play.elapsed);
+                push_key(out, &mut first, "times");
+                push_f64_array(out, &play.observed_times);
+                push_key(out, &mut first, "scores");
+                push_f64_array(out, &play.execution_scores);
+                push_key(out, &mut first, "early");
+                let _ = write!(out, "{}", play.early_terminated);
+            }
+            TraceEvent::Single { spec, run } => {
+                push_key(out, &mut first, "spec");
+                push_spec(out, spec);
+                push_key(out, &mut first, "time");
+                push_trace_f64(out, run.observed_time);
+                push_key(out, &mut first, "start");
+                push_trace_f64(out, run.started_at.as_seconds());
+                push_key(out, &mut first, "elapsed");
+                push_trace_f64(out, run.elapsed);
+            }
+            TraceEvent::Observe {
+                spec,
+                start,
+                salt,
+                time,
+            } => {
+                push_key(out, &mut first, "spec");
+                push_spec(out, spec);
+                push_key(out, &mut first, "at");
+                push_trace_f64(out, start.as_seconds());
+                push_key(out, &mut first, "salt");
+                let _ = write!(out, "{salt}");
+                push_key(out, &mut first, "time");
+                push_trace_f64(out, *time);
+            }
+            TraceEvent::Fork { seed } => {
+                push_key(out, &mut first, "seed");
+                let _ = write!(out, "{seed}");
+            }
+        }
+        out.push('}');
+    }
+
+    fn from_value(value: &JsonValue) -> Result<Self, TraceError> {
+        let op = get_str(value, "op")?;
+        match op.as_str() {
+            "game" => {
+                let specs = get_array(value, "specs")?
+                    .iter()
+                    .map(parse_spec)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let rules_parts = field(value, "rules")?
+                    .as_array()
+                    .ok_or_else(|| TraceError::Parse("rules is not an array".into()))?;
+                if rules_parts.len() != 3 {
+                    return Err(TraceError::Parse("rules needs 3 entries".into()));
+                }
+                let rules = GameRules {
+                    early_termination: rules_parts[0]
+                        .as_bool()
+                        .ok_or_else(|| TraceError::Parse("rules[0] is not a bool".into()))?,
+                    work_done_deviation: parse_trace_f64(&rules_parts[1])?,
+                    min_leader_progress: parse_trace_f64(&rules_parts[2])?,
+                };
+                let play = GamePlay {
+                    start: parse_time(value, "start")?,
+                    elapsed: get_f64(value, "elapsed")?,
+                    observed_times: get_f64_array(value, "times")?,
+                    execution_scores: get_f64_array(value, "scores")?,
+                    early_terminated: field(value, "early")?
+                        .as_bool()
+                        .ok_or_else(|| TraceError::Parse("early is not a bool".into()))?,
+                };
+                if play.observed_times.len() != specs.len()
+                    || play.execution_scores.len() != specs.len()
+                {
+                    return Err(TraceError::Parse(
+                        "game player counts are inconsistent".into(),
+                    ));
+                }
+                Ok(TraceEvent::Game { specs, rules, play })
+            }
+            "single" => Ok(TraceEvent::Single {
+                spec: parse_spec(field(value, "spec")?)?,
+                run: ObservedRun {
+                    observed_time: get_f64(value, "time")?,
+                    started_at: parse_time(value, "start")?,
+                    elapsed: get_f64(value, "elapsed")?,
+                },
+            }),
+            "observe" => Ok(TraceEvent::Observe {
+                spec: parse_spec(field(value, "spec")?)?,
+                start: parse_time(value, "at")?,
+                salt: get_u64(value, "salt")?,
+                time: get_f64(value, "time")?,
+            }),
+            "fork" => Ok(TraceEvent::Fork {
+                seed: get_u64(value, "seed")?,
+            }),
+            other => Err(TraceError::Parse(format!("unknown trace op {other:?}"))),
+        }
+    }
+}
+
+/// Errors surfaced when parsing a trace or preparing a replay.
+///
+/// Mid-stream divergence (driving a replayed backend with different operations than
+/// were recorded) panics with a descriptive message instead, because it indicates a
+/// logic error rather than bad input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The trace document is not valid canonical trace JSON.
+    Parse(String),
+    /// The trace was recorded from a spec with a different fingerprint than the one it
+    /// is being replayed against.
+    FingerprintMismatch {
+        /// Fingerprint of the spec the replay was requested for.
+        expected: u64,
+        /// Fingerprint carried by the trace.
+        found: u64,
+    },
+    /// The trace was recorded from a campaign with a different name.
+    CampaignMismatch {
+        /// Name of the campaign the replay was requested for.
+        expected: String,
+        /// Name carried by the trace.
+        found: String,
+    },
+    /// The trace has no stream for an execution the replay needs.
+    MissingStream {
+        /// Key of the missing stream.
+        stream: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse(detail) => write!(f, "trace parse error: {detail}"),
+            TraceError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "trace fingerprint {found:#018x} does not match the target spec's \
+                 {expected:#018x}; the trace was recorded from a different campaign spec"
+            ),
+            TraceError::CampaignMismatch { expected, found } => write!(
+                f,
+                "trace was recorded from campaign {found:?}, not {expected:?}"
+            ),
+            TraceError::MissingStream { stream } => {
+                write!(f, "trace has no stream {stream:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+// ---------- recording ----------
+
+type TraceSink = Arc<Mutex<BTreeMap<String, TraceStream>>>;
+
+/// A [`BackendProvider`] that records everything the backends of an inner provider
+/// produce into an [`ExecutionTrace`].
+///
+/// Each stream records into its own event list, so recording is deterministic even when
+/// streams execute on concurrent worker threads; serialization orders streams by key.
+pub struct TraceRecorder {
+    inner: Box<dyn BackendProvider>,
+    campaign: String,
+    fingerprint: u64,
+    sink: TraceSink,
+}
+
+impl TraceRecorder {
+    /// Records the backends of `inner`, stamping the trace with the recorded campaign's
+    /// name and spec fingerprint.
+    pub fn new(
+        inner: Box<dyn BackendProvider>,
+        campaign: impl Into<String>,
+        fingerprint: u64,
+    ) -> Self {
+        Self {
+            inner,
+            campaign: campaign.into(),
+            fingerprint,
+            sink: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// Finishes recording and assembles the trace (streams sorted by key).
+    pub fn finish(self) -> ExecutionTrace {
+        let streams = std::mem::take(&mut *self.sink.lock().expect("trace sink poisoned"));
+        ExecutionTrace {
+            campaign: self.campaign,
+            fingerprint: self.fingerprint,
+            streams: streams.into_values().collect(),
+        }
+    }
+}
+
+fn register_stream(
+    sink: &TraceSink,
+    key: &str,
+    vm: VmType,
+    profile: &InterferenceProfile,
+    seed: u64,
+) {
+    let mut streams = sink.lock().expect("trace sink poisoned");
+    let previous = streams.insert(
+        key.to_string(),
+        TraceStream {
+            key: key.to_string(),
+            vm: vm.name().to_string(),
+            profile: profile_label(profile),
+            seed,
+            events: Vec::new(),
+        },
+    );
+    assert!(
+        previous.is_none(),
+        "execution stream {key:?} was recorded twice; stream keys must be unique"
+    );
+}
+
+impl BackendProvider for TraceRecorder {
+    fn backend(
+        &self,
+        stream: &str,
+        vm: VmType,
+        profile: &InterferenceProfile,
+        seed: u64,
+    ) -> Box<dyn ExecutionBackend> {
+        register_stream(&self.sink, stream, vm, profile, seed);
+        Box::new(RecordingBackend {
+            inner: self.inner.backend(stream, vm, profile, seed),
+            sink: Arc::clone(&self.sink),
+            key: stream.to_string(),
+            events: Vec::new(),
+            forks: 0,
+        })
+    }
+}
+
+/// An [`ExecutionBackend`] that delegates to an inner backend and records every
+/// outcome. Created by [`TraceRecorder`].
+///
+/// Events buffer in the backend itself (each stream has exactly one owner, so no lock
+/// is needed per event) and flush into the shared sink when the backend is dropped —
+/// which is why [`TraceRecorder::finish`] must only be called after every backend is
+/// gone (campaign executors drop each cell's backend at the end of the cell).
+pub struct RecordingBackend {
+    inner: Box<dyn ExecutionBackend>,
+    sink: TraceSink,
+    key: String,
+    events: Vec<TraceEvent>,
+    forks: usize,
+}
+
+impl RecordingBackend {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+impl Drop for RecordingBackend {
+    fn drop(&mut self) {
+        if let Ok(mut streams) = self.sink.lock() {
+            // The stream is registered at construction; it is only absent when the
+            // recorder was finished while this backend was still alive, in which case
+            // the events have nowhere to go (never panic in a destructor).
+            if let Some(stream) = streams.get_mut(&self.key) {
+                stream.events = std::mem::take(&mut self.events);
+            }
+        }
+    }
+}
+
+impl ExecutionBackend for RecordingBackend {
+    fn vm(&self) -> VmType {
+        self.inner.vm()
+    }
+
+    fn profile(&self) -> &InterferenceProfile {
+        self.inner.profile()
+    }
+
+    fn seed(&self) -> u64 {
+        self.inner.seed()
+    }
+
+    fn clock(&self) -> SimTime {
+        self.inner.clock()
+    }
+
+    fn set_clock(&mut self, t: SimTime) {
+        self.inner.set_clock(t);
+    }
+
+    fn cost(&self) -> &CostTracker {
+        self.inner.cost()
+    }
+
+    fn play_game(&mut self, specs: &[ExecutionSpec], rules: &GameRules) -> GamePlay {
+        let play = self.inner.play_game(specs, rules);
+        self.record(TraceEvent::Game {
+            specs: specs.to_vec(),
+            rules: *rules,
+            play: play.clone(),
+        });
+        play
+    }
+
+    fn run_single(&mut self, spec: ExecutionSpec) -> ObservedRun {
+        let run = self.inner.run_single(spec);
+        self.record(TraceEvent::Single { spec, run });
+        run
+    }
+
+    fn observe_single_at(&mut self, spec: ExecutionSpec, start: SimTime, salt: u64) -> f64 {
+        let time = self.inner.observe_single_at(spec, start, salt);
+        self.record(TraceEvent::Observe {
+            spec,
+            start,
+            salt,
+            time,
+        });
+        time
+    }
+
+    fn commit(&mut self, play: &GamePlay) {
+        self.inner.commit(play);
+    }
+
+    fn commit_parallel(&mut self, plays: &[GamePlay]) {
+        self.inner.commit_parallel(plays);
+    }
+
+    fn fork(&mut self, seed: u64) -> Box<dyn ExecutionBackend> {
+        let child_key = format!("{}/{}", self.key, self.forks);
+        self.forks += 1;
+        self.record(TraceEvent::Fork { seed });
+        let inner = self.inner.fork(seed);
+        register_stream(&self.sink, &child_key, inner.vm(), inner.profile(), seed);
+        Box::new(RecordingBackend {
+            inner,
+            sink: Arc::clone(&self.sink),
+            key: child_key,
+            events: Vec::new(),
+            forks: 0,
+        })
+    }
+}
+
+// ---------- replay ----------
+
+/// A [`BackendProvider`] that replays a recorded [`ExecutionTrace`] with zero
+/// resimulation.
+///
+/// Campaign-level compatibility (fingerprint, campaign name, stream coverage) should be
+/// validated up front — `dg-campaign`'s `Campaign::replay` does — because provider
+/// methods cannot return errors; a request for a stream the trace lacks panics.
+pub struct TraceReplayer {
+    trace: Arc<ExecutionTrace>,
+}
+
+impl TraceReplayer {
+    /// Creates a replayer over a trace (pass an `Arc<ExecutionTrace>` to share one
+    /// parsed trace across repeated replays without copying it).
+    pub fn new(trace: impl Into<Arc<ExecutionTrace>>) -> Self {
+        Self {
+            trace: trace.into(),
+        }
+    }
+
+    /// The replayed trace.
+    pub fn trace(&self) -> &ExecutionTrace {
+        &self.trace
+    }
+}
+
+impl BackendProvider for TraceReplayer {
+    fn backend(
+        &self,
+        stream: &str,
+        vm: VmType,
+        profile: &InterferenceProfile,
+        seed: u64,
+    ) -> Box<dyn ExecutionBackend> {
+        Box::new(ReplayBackend::open(
+            Arc::clone(&self.trace),
+            stream,
+            vm,
+            profile.clone(),
+            seed,
+        ))
+    }
+}
+
+/// An [`ExecutionBackend`] that answers every request from a recorded stream. Created
+/// by [`TraceReplayer`].
+///
+/// # Panics
+///
+/// Every trait method panics with a descriptive message when the requested operation
+/// (or its arguments) diverges from what the stream recorded — replaying is only valid
+/// for the exact execution that was recorded.
+pub struct ReplayBackend {
+    trace: Arc<ExecutionTrace>,
+    stream: usize,
+    cursor: usize,
+    vm: VmType,
+    profile: InterferenceProfile,
+    seed: u64,
+    clock: SimTime,
+    cost: CostTracker,
+    forks: usize,
+}
+
+impl ReplayBackend {
+    fn open(
+        trace: Arc<ExecutionTrace>,
+        key: &str,
+        vm: VmType,
+        profile: InterferenceProfile,
+        seed: u64,
+    ) -> Self {
+        let stream = trace.stream_index(key).unwrap_or_else(|| {
+            panic!("trace has no stream {key:?}; was it recorded from the same spec?")
+        });
+        let header = &trace.streams[stream];
+        assert_eq!(
+            header.vm,
+            vm.name(),
+            "stream {key:?} was recorded on VM {:?}, replay requested {:?}",
+            header.vm,
+            vm.name()
+        );
+        let label = profile_label(&profile);
+        assert_eq!(
+            header.profile, label,
+            "stream {key:?} was recorded under profile {:?}, replay requested {label:?}",
+            header.profile
+        );
+        assert_eq!(
+            header.seed, seed,
+            "stream {key:?} was recorded with seed {}, replay requested {seed}",
+            header.seed
+        );
+        Self {
+            trace,
+            stream,
+            cursor: 0,
+            vm,
+            profile,
+            seed,
+            clock: SimTime::ZERO,
+            cost: CostTracker::new(),
+            forks: 0,
+        }
+    }
+
+    fn key(&self) -> &str {
+        &self.trace.streams[self.stream].key
+    }
+
+    /// Checks that the next recorded event is an `op`, advances the cursor, and
+    /// returns the event's index (callers borrow the event itself from the trace, so
+    /// replay never deep-clones event payloads it only validates against).
+    fn expect_op(&mut self, op: &str) -> usize {
+        let index = self.cursor;
+        {
+            let stream = &self.trace.streams[self.stream];
+            let event = stream.events.get(index).unwrap_or_else(|| {
+                panic!(
+                    "replay diverged on stream {:?}: trace ended after {index} events but a \
+                     {op:?} operation was requested",
+                    stream.key
+                )
+            });
+            assert_eq!(
+                event.op(),
+                op,
+                "replay diverged on stream {:?} at event {index}: trace recorded a {:?} \
+                 operation but a {op:?} operation was requested",
+                stream.key,
+                event.op()
+            );
+        }
+        self.cursor = index + 1;
+        index
+    }
+
+    fn assert_spec(&self, index: usize, expected: &ExecutionSpec, got: &ExecutionSpec) {
+        assert!(
+            expected.base_time().to_bits() == got.base_time().to_bits()
+                && expected.sensitivity().to_bits() == got.sensitivity().to_bits(),
+            "replay diverged on stream {:?} at event {}: recorded spec {expected:?}, \
+             requested {got:?}",
+            self.key(),
+            index,
+        );
+    }
+}
+
+impl ExecutionBackend for ReplayBackend {
+    fn vm(&self) -> VmType {
+        self.vm
+    }
+
+    fn profile(&self) -> &InterferenceProfile {
+        &self.profile
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    fn set_clock(&mut self, t: SimTime) {
+        assert!(
+            t.as_seconds() >= self.clock.as_seconds(),
+            "the simulated clock cannot move backwards"
+        );
+        self.clock = t;
+    }
+
+    fn cost(&self) -> &CostTracker {
+        &self.cost
+    }
+
+    fn play_game(&mut self, specs: &[ExecutionSpec], rules: &GameRules) -> GamePlay {
+        let index = self.expect_op("game");
+        let trace = Arc::clone(&self.trace);
+        let TraceEvent::Game {
+            specs: recorded,
+            rules: recorded_rules,
+            play,
+        } = &trace.streams[self.stream].events[index]
+        else {
+            unreachable!("expect_op checked the op")
+        };
+        assert_eq!(
+            recorded.len(),
+            specs.len(),
+            "replay diverged on stream {:?} at event {index}: player counts differ",
+            self.key()
+        );
+        for (expected, got) in recorded.iter().zip(specs) {
+            self.assert_spec(index, expected, got);
+        }
+        assert_eq!(
+            recorded_rules,
+            rules,
+            "replay diverged on stream {:?} at event {index}: game rules differ",
+            self.key()
+        );
+        play.clone()
+    }
+
+    fn run_single(&mut self, spec: ExecutionSpec) -> ObservedRun {
+        let index = self.expect_op("single");
+        let trace = Arc::clone(&self.trace);
+        let TraceEvent::Single {
+            spec: recorded,
+            run,
+        } = &trace.streams[self.stream].events[index]
+        else {
+            unreachable!("expect_op checked the op")
+        };
+        self.assert_spec(index, recorded, &spec);
+        let run = *run;
+        // Re-apply the exact accounting a live run_single performs.
+        self.cost.charge_serial(self.vm, run.elapsed);
+        self.clock += run.elapsed;
+        run
+    }
+
+    fn observe_single_at(&mut self, spec: ExecutionSpec, start: SimTime, salt: u64) -> f64 {
+        let index = self.expect_op("observe");
+        let trace = Arc::clone(&self.trace);
+        let TraceEvent::Observe {
+            spec: recorded,
+            start: recorded_start,
+            salt: recorded_salt,
+            time,
+        } = &trace.streams[self.stream].events[index]
+        else {
+            unreachable!("expect_op checked the op")
+        };
+        self.assert_spec(index, recorded, &spec);
+        assert!(
+            recorded_start.as_seconds().to_bits() == start.as_seconds().to_bits()
+                && *recorded_salt == salt,
+            "replay diverged on stream {:?} at event {index}: observation request differs",
+            self.key()
+        );
+        *time
+    }
+
+    fn commit(&mut self, play: &GamePlay) {
+        self.cost.charge_serial(self.vm, play.elapsed);
+        self.clock += play.elapsed;
+    }
+
+    fn commit_parallel(&mut self, plays: &[GamePlay]) {
+        if plays.is_empty() {
+            return;
+        }
+        let elapsed: Vec<f64> = plays.iter().map(|p| p.elapsed).collect();
+        self.cost.charge_parallel(self.vm, &elapsed);
+        let max_elapsed = elapsed.iter().copied().fold(0.0_f64, f64::max);
+        self.clock += max_elapsed;
+    }
+
+    fn fork(&mut self, seed: u64) -> Box<dyn ExecutionBackend> {
+        let index = self.expect_op("fork");
+        let TraceEvent::Fork { seed: recorded } = self.trace.streams[self.stream].events[index]
+        else {
+            unreachable!("expect_op checked the op")
+        };
+        assert_eq!(
+            recorded,
+            seed,
+            "replay diverged on stream {:?} at event {index}: fork seeds differ",
+            self.key()
+        );
+        let child_key = format!("{}/{}", self.key(), self.forks);
+        self.forks += 1;
+        Box::new(ReplayBackend::open(
+            Arc::clone(&self.trace),
+            &child_key,
+            self.vm,
+            self.profile.clone(),
+            seed,
+        ))
+    }
+}
+
+// ---------- JSON helpers ----------
+
+/// Writes an f64 for the trace format: finite values via the canonical shortest
+/// round-trip rendering, non-finite values as the strings `"inf"`/`"-inf"`/`"nan"`
+/// (plain JSON has no representation for them, and traces must be lossless).
+fn push_trace_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        push_f64(out, value);
+    } else if value.is_nan() {
+        out.push_str("\"nan\"");
+    } else if value > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+fn parse_trace_f64(value: &JsonValue) -> Result<f64, TraceError> {
+    match value {
+        JsonValue::Number(token) => token
+            .parse::<f64>()
+            .map_err(|_| TraceError::Parse(format!("invalid float token {token:?}"))),
+        JsonValue::Str(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            other => Err(TraceError::Parse(format!("invalid float string {other:?}"))),
+        },
+        other => Err(TraceError::Parse(format!(
+            "expected a float, got {other:?}"
+        ))),
+    }
+}
+
+fn push_spec(out: &mut String, spec: &ExecutionSpec) {
+    out.push('[');
+    push_trace_f64(out, spec.base_time());
+    out.push(',');
+    push_trace_f64(out, spec.sensitivity());
+    out.push(']');
+}
+
+fn push_spec_array(out: &mut String, specs: &[ExecutionSpec]) {
+    out.push('[');
+    for (i, spec) in specs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_spec(out, spec);
+    }
+    out.push(']');
+}
+
+fn push_f64_array(out: &mut String, values: &[f64]) {
+    out.push('[');
+    for (i, value) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_trace_f64(out, *value);
+    }
+    out.push(']');
+}
+
+fn parse_spec(value: &JsonValue) -> Result<ExecutionSpec, TraceError> {
+    let parts = value
+        .as_array()
+        .ok_or_else(|| TraceError::Parse("spec is not an array".into()))?;
+    if parts.len() != 2 {
+        return Err(TraceError::Parse(
+            "spec needs [base_time, sensitivity]".into(),
+        ));
+    }
+    let base_time = parse_trace_f64(&parts[0])?;
+    let sensitivity = parse_trace_f64(&parts[1])?;
+    if !(base_time.is_finite() && base_time > 0.0 && sensitivity.is_finite() && sensitivity >= 0.0)
+    {
+        return Err(TraceError::Parse(format!(
+            "invalid spec [{base_time}, {sensitivity}]"
+        )));
+    }
+    Ok(ExecutionSpec::new(base_time, sensitivity))
+}
+
+fn field<'a>(value: &'a JsonValue, key: &str) -> Result<&'a JsonValue, TraceError> {
+    value
+        .get(key)
+        .ok_or_else(|| TraceError::Parse(format!("missing field {key:?}")))
+}
+
+fn get_str(value: &JsonValue, key: &str) -> Result<String, TraceError> {
+    field(value, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| TraceError::Parse(format!("field {key:?} is not a string")))
+}
+
+fn get_u64(value: &JsonValue, key: &str) -> Result<u64, TraceError> {
+    field(value, key)?
+        .number_token()
+        .and_then(|t| t.parse::<u64>().ok())
+        .ok_or_else(|| TraceError::Parse(format!("field {key:?} is not a u64")))
+}
+
+fn get_f64(value: &JsonValue, key: &str) -> Result<f64, TraceError> {
+    parse_trace_f64(field(value, key)?)
+}
+
+fn get_array<'a>(value: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], TraceError> {
+    field(value, key)?
+        .as_array()
+        .ok_or_else(|| TraceError::Parse(format!("field {key:?} is not an array")))
+}
+
+fn get_f64_array(value: &JsonValue, key: &str) -> Result<Vec<f64>, TraceError> {
+    field(value, key)?
+        .as_array()
+        .ok_or_else(|| TraceError::Parse(format!("field {key:?} is not an array")))?
+        .iter()
+        .map(parse_trace_f64)
+        .collect()
+}
+
+fn parse_time(value: &JsonValue, key: &str) -> Result<SimTime, TraceError> {
+    let seconds = get_f64(value, key)?;
+    if !seconds.is_finite() || seconds < 0.0 {
+        return Err(TraceError::Parse(format!(
+            "field {key:?} is not a valid time: {seconds}"
+        )));
+    }
+    Ok(SimTime::from_seconds(seconds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{sim_ops, SimProvider};
+
+    const VM: VmType = VmType::M5_8xlarge;
+
+    fn drive(exec: &mut dyn ExecutionBackend) -> (Vec<f64>, f64, f64) {
+        let fast = ExecutionSpec::new(100.0, 0.3);
+        let slow = ExecutionSpec::new(220.0, 0.9);
+        let play = exec.play_game(&[fast, slow], &GameRules::default());
+        exec.commit(&play);
+        let run = exec.run_single(fast);
+        let observations = exec.observe_repeated(slow, 3, 900.0);
+        let mut fork = exec.fork(4242);
+        let fork_run = fork.run_single(slow);
+        let mut times = play.observed_times.clone();
+        times.push(run.observed_time);
+        times.push(fork_run.observed_time);
+        times.extend(observations);
+        (times, exec.cost().core_hours(), exec.clock().as_seconds())
+    }
+
+    fn record_one() -> ((Vec<f64>, f64, f64), ExecutionTrace) {
+        let recorder = TraceRecorder::new(Box::new(SimProvider), "unit", 0xfeed);
+        let profile = InterferenceProfile::typical();
+        let mut exec = recorder.backend("root", VM, &profile, 7);
+        let live = drive(exec.as_mut());
+        drop(exec);
+        (live, recorder.finish())
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_everything_without_simulation() {
+        let (live, trace) = record_one();
+        assert_eq!(trace.campaign, "unit");
+        assert_eq!(trace.streams().len(), 2, "root + one fork");
+        assert!(trace.stream("root/0").is_some());
+
+        let replayer = TraceReplayer::new(trace);
+        let before = sim_ops();
+        let mut exec = replayer.backend("root", VM, &InterferenceProfile::typical(), 7);
+        let replayed = drive(exec.as_mut());
+        assert_eq!(sim_ops(), before, "replay must not touch the simulator");
+        assert_eq!(live.0, replayed.0);
+        assert_eq!(live.1.to_bits(), replayed.1.to_bits(), "cost accounting");
+        assert_eq!(live.2.to_bits(), replayed.2.to_bits(), "clock");
+    }
+
+    #[test]
+    fn traces_round_trip_through_canonical_json() {
+        let (_, trace) = record_one();
+        let json = trace.to_json();
+        let parsed = ExecutionTrace::from_json(&json).expect("canonical traces parse");
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.to_json(), json, "byte-identical re-serialization");
+    }
+
+    #[test]
+    fn non_finite_floats_survive_the_wire_format() {
+        let mut out = String::new();
+        for v in [f64::INFINITY, f64::NEG_INFINITY, 1.5, -0.0] {
+            out.clear();
+            push_trace_f64(&mut out, v);
+            let parsed = parse_trace_f64(&json::parse(&out).unwrap()).unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits());
+        }
+        out.clear();
+        push_trace_f64(&mut out, f64::NAN);
+        assert!(parse_trace_f64(&json::parse(&out).unwrap())
+            .unwrap()
+            .is_nan());
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected_with_parse_errors() {
+        for bad in [
+            "{",
+            "{\"campaign\":\"x\"}",
+            "{\"campaign\":\"x\",\"fingerprint\":1,\"streams\":[{\"key\":\"a\"}]}",
+            "{\"campaign\":\"x\",\"fingerprint\":1,\"streams\":[{\"key\":\"a\",\"vm\":\"m\",\
+             \"profile\":\"p\",\"seed\":1,\"events\":[{\"op\":\"warp\"}]}]}",
+        ] {
+            assert!(
+                matches!(ExecutionTrace::from_json(bad), Err(TraceError::Parse(_))),
+                "{bad:?} must fail to parse"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "replay diverged")]
+    fn replaying_a_different_operation_panics() {
+        let (_, trace) = record_one();
+        let replayer = TraceReplayer::new(trace);
+        let mut exec = replayer.backend("root", VM, &InterferenceProfile::typical(), 7);
+        // The trace starts with a game; requesting a solo run must fail loudly.
+        let _ = exec.run_single(ExecutionSpec::new(100.0, 0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no stream")]
+    fn replaying_a_missing_stream_panics() {
+        let (_, trace) = record_one();
+        let replayer = TraceReplayer::new(trace);
+        let _ = replayer.backend("nope", VM, &InterferenceProfile::typical(), 7);
+    }
+
+    #[test]
+    fn error_display_is_descriptive() {
+        let err = TraceError::FingerprintMismatch {
+            expected: 1,
+            found: 2,
+        };
+        assert!(err.to_string().contains("different campaign spec"));
+        let err = TraceError::MissingStream {
+            stream: "cell-3".into(),
+        };
+        assert!(err.to_string().contains("cell-3"));
+    }
+}

@@ -4,7 +4,8 @@ use crate::evaluator::{CloudEvaluator, TuningBudget};
 use crate::outcome::TuningOutcome;
 use crate::simplex::nelder_mead;
 use crate::tuner::Tuner;
-use dg_cloudsim::{CloudEnvironment, SimRng};
+use dg_cloudsim::SimRng;
+use dg_exec::ExecutionBackend;
 use dg_workloads::{ConfigId, Workload};
 
 /// ActiveHarmony [Hollingsworth & Tiwari]: a server-directed simplex search over the
@@ -68,12 +69,12 @@ impl Tuner for ActiveHarmony {
     fn tune(
         &mut self,
         workload: &Workload,
-        cloud: &mut CloudEnvironment,
+        exec: &mut dyn ExecutionBackend,
         budget: TuningBudget,
     ) -> TuningOutcome {
         let mut rng = SimRng::new(self.seed).derive("active-harmony");
         let dims = workload.space().dimensions();
-        let mut evaluator = CloudEvaluator::new(workload, cloud, budget);
+        let mut evaluator = CloudEvaluator::new(workload, exec, budget);
 
         while !evaluator.exhausted() {
             // Fresh random simplex for this restart.
@@ -95,7 +96,7 @@ impl Tuner for ActiveHarmony {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dg_cloudsim::{InterferenceProfile, VmType};
+    use dg_cloudsim::{CloudEnvironment, InterferenceProfile, VmType};
     use dg_workloads::Application;
 
     #[test]

@@ -5,7 +5,8 @@ use crate::evaluator::{CloudEvaluator, TuningBudget};
 use crate::gp::GaussianProcess;
 use crate::outcome::TuningOutcome;
 use crate::tuner::Tuner;
-use dg_cloudsim::{CloudEnvironment, SimRng};
+use dg_cloudsim::SimRng;
+use dg_exec::ExecutionBackend;
 use dg_workloads::{ConfigId, Workload};
 
 /// Number of candidate configurations scored by the acquisition function per iteration.
@@ -82,11 +83,11 @@ impl Tuner for Bliss {
     fn tune(
         &mut self,
         workload: &Workload,
-        cloud: &mut CloudEnvironment,
+        exec: &mut dyn ExecutionBackend,
         budget: TuningBudget,
     ) -> TuningOutcome {
         let mut rng = SimRng::new(self.seed).derive("bliss");
-        let mut evaluator = CloudEvaluator::new(workload, cloud, budget);
+        let mut evaluator = CloudEvaluator::new(workload, exec, budget);
         let size = workload.size();
 
         let mut models: Vec<ModelSlot> = self
@@ -175,7 +176,7 @@ impl Tuner for Bliss {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dg_cloudsim::{InterferenceProfile, VmType};
+    use dg_cloudsim::{CloudEnvironment, InterferenceProfile, VmType};
     use dg_workloads::Application;
 
     #[test]

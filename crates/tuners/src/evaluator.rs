@@ -1,7 +1,8 @@
 //! The shared evaluation harness every baseline tuner samples through.
 
 use crate::outcome::{SampleRecord, TuningOutcome};
-use dg_cloudsim::CloudEnvironment;
+use dg_cloudsim::CostSnapshot;
+use dg_exec::ExecutionBackend;
 use dg_workloads::{ConfigId, Workload};
 
 /// A sampling budget for a tuning session.
@@ -36,7 +37,7 @@ impl Default for TuningBudget {
     }
 }
 
-/// Counts samples, records history, and charges the cloud environment on behalf of a
+/// Counts samples, records history, and charges the execution backend on behalf of a
 /// baseline tuner.
 ///
 /// Baseline tuners evaluate one configuration at a time, alone on the node — exactly how
@@ -44,29 +45,26 @@ impl Default for TuningBudget {
 /// `darwin-core` crate, instead plays co-located games and does not use this type.)
 pub struct CloudEvaluator<'a> {
     workload: &'a Workload,
-    cloud: &'a mut CloudEnvironment,
+    exec: &'a mut dyn ExecutionBackend,
     budget: TuningBudget,
     history: Vec<SampleRecord>,
-    core_hours_at_start: f64,
-    wall_clock_at_start: f64,
+    cost_at_start: CostSnapshot,
 }
 
 impl<'a> CloudEvaluator<'a> {
-    /// Creates an evaluator bound to a workload, a cloud environment, and a budget.
+    /// Creates an evaluator bound to a workload, an execution backend, and a budget.
     pub fn new(
         workload: &'a Workload,
-        cloud: &'a mut CloudEnvironment,
+        exec: &'a mut dyn ExecutionBackend,
         budget: TuningBudget,
     ) -> Self {
-        let core_hours_at_start = cloud.cost().core_hours();
-        let wall_clock_at_start = cloud.cost().wall_clock_seconds();
+        let cost_at_start = exec.cost().snapshot();
         Self {
             workload,
-            cloud,
+            exec,
             budget,
             history: Vec::new(),
-            core_hours_at_start,
-            wall_clock_at_start,
+            cost_at_start,
         }
     }
 
@@ -109,7 +107,7 @@ impl<'a> CloudEvaluator<'a> {
                 .map(|s| s.observed_time)
                 .unwrap_or(f64::INFINITY);
         }
-        let observed = self.cloud.run_single(self.workload.spec(id)).observed_time;
+        let observed = self.exec.run_single(self.workload.spec(id)).observed_time;
         self.history.push(SampleRecord {
             config: id,
             observed_time: observed,
@@ -147,13 +145,14 @@ impl<'a> CloudEvaluator<'a> {
             // the baselines, but stay total).
             self.best().map(|s| s.observed_time).unwrap_or(0.0)
         };
+        let spent = self.cost_at_start.delta(self.exec.cost());
         TuningOutcome {
             tuner: tuner.to_string(),
             chosen,
             believed_time,
             samples: self.history.len(),
-            core_hours: self.cloud.cost().core_hours() - self.core_hours_at_start,
-            wall_clock_seconds: self.cloud.cost().wall_clock_seconds() - self.wall_clock_at_start,
+            core_hours: spent.core_hours,
+            wall_clock_seconds: spent.wall_clock_seconds,
             history: self.history,
         }
     }
@@ -162,7 +161,7 @@ impl<'a> CloudEvaluator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dg_cloudsim::{InterferenceProfile, VmType};
+    use dg_cloudsim::{CloudEnvironment, InterferenceProfile, VmType};
     use dg_workloads::Application;
 
     fn setup() -> (Workload, CloudEnvironment) {

@@ -3,7 +3,7 @@
 use crate::evaluator::{CloudEvaluator, TuningBudget};
 use crate::outcome::TuningOutcome;
 use crate::tuner::Tuner;
-use dg_cloudsim::CloudEnvironment;
+use dg_exec::ExecutionBackend;
 use dg_workloads::Workload;
 
 /// Exhaustive search: evaluate every configuration once, in the cloud, and keep the best
@@ -37,11 +37,11 @@ impl Tuner for ExhaustiveSearch {
     fn tune(
         &mut self,
         workload: &Workload,
-        cloud: &mut CloudEnvironment,
+        exec: &mut dyn ExecutionBackend,
         budget: TuningBudget,
     ) -> TuningOutcome {
         let size = workload.size();
-        let mut evaluator = CloudEvaluator::new(workload, cloud, budget);
+        let mut evaluator = CloudEvaluator::new(workload, exec, budget);
         let evaluations = (budget.max_evaluations as u64).min(size);
         // Evenly strided coverage of the index space; stride >= 1.
         let stride = (size / evaluations).max(1);
@@ -58,7 +58,7 @@ impl Tuner for ExhaustiveSearch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dg_cloudsim::{InterferenceProfile, VmType};
+    use dg_cloudsim::{CloudEnvironment, InterferenceProfile, VmType};
     use dg_workloads::Application;
 
     #[test]

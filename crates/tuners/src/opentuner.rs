@@ -7,7 +7,8 @@ use crate::techniques::{
     Technique,
 };
 use crate::tuner::Tuner;
-use dg_cloudsim::{CloudEnvironment, SimRng};
+use dg_cloudsim::SimRng;
+use dg_exec::ExecutionBackend;
 use dg_workloads::Workload;
 
 /// Length of the sliding window over which each technique's improvement credit is scored.
@@ -70,11 +71,11 @@ impl Tuner for OpenTuner {
     fn tune(
         &mut self,
         workload: &Workload,
-        cloud: &mut CloudEnvironment,
+        exec: &mut dyn ExecutionBackend,
         budget: TuningBudget,
     ) -> TuningOutcome {
         let mut rng = SimRng::new(self.seed).derive("opentuner");
-        let mut evaluator = CloudEvaluator::new(workload, cloud, budget);
+        let mut evaluator = CloudEvaluator::new(workload, exec, budget);
         let mut context = SearchContext::default();
 
         let mut arms: Vec<Arm> = vec![
@@ -143,7 +144,7 @@ impl Tuner for OpenTuner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dg_cloudsim::{InterferenceProfile, VmType};
+    use dg_cloudsim::{CloudEnvironment, InterferenceProfile, VmType};
     use dg_workloads::Application;
 
     #[test]

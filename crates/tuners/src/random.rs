@@ -3,7 +3,8 @@
 use crate::evaluator::{CloudEvaluator, TuningBudget};
 use crate::outcome::TuningOutcome;
 use crate::tuner::Tuner;
-use dg_cloudsim::{CloudEnvironment, SimRng};
+use dg_cloudsim::SimRng;
+use dg_exec::ExecutionBackend;
 use dg_workloads::Workload;
 
 /// Random search: sample uniformly at random and keep the best observation.
@@ -30,11 +31,11 @@ impl Tuner for RandomSearch {
     fn tune(
         &mut self,
         workload: &Workload,
-        cloud: &mut CloudEnvironment,
+        exec: &mut dyn ExecutionBackend,
         budget: TuningBudget,
     ) -> TuningOutcome {
         let mut rng = SimRng::new(self.seed).derive("random-search");
-        let mut evaluator = CloudEvaluator::new(workload, cloud, budget);
+        let mut evaluator = CloudEvaluator::new(workload, exec, budget);
         let size = workload.size();
         while !evaluator.exhausted() {
             let id = ((rng.uniform() * size as f64) as u64).min(size - 1);
@@ -48,7 +49,7 @@ impl Tuner for RandomSearch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dg_cloudsim::{InterferenceProfile, VmType};
+    use dg_cloudsim::{CloudEnvironment, InterferenceProfile, VmType};
     use dg_workloads::Application;
 
     #[test]

@@ -2,15 +2,17 @@
 
 use crate::evaluator::TuningBudget;
 use crate::outcome::TuningOutcome;
-use dg_cloudsim::CloudEnvironment;
+use dg_exec::ExecutionBackend;
 use dg_workloads::Workload;
 
 /// An application performance tuner.
 ///
-/// A tuner navigates the workload's search space by evaluating configurations in the
-/// provided cloud environment and finally selects the configuration it believes is
-/// fastest. Implementations differ only in how they choose which configurations to
-/// evaluate; they all observe the same noisy execution times.
+/// A tuner navigates the workload's search space by evaluating configurations through
+/// the provided [`ExecutionBackend`] and finally selects the configuration it believes
+/// is fastest. Implementations differ only in how they choose which configurations to
+/// evaluate; they all observe the same noisy execution times. Because tuners only see
+/// the backend trait, the same tuner runs unchanged against the cloud simulator, a
+/// recorded trace, or a memoizing wrapper.
 pub trait Tuner {
     /// The tuner's display name, as used in the paper's figures.
     fn name(&self) -> &str;
@@ -19,7 +21,7 @@ pub trait Tuner {
     fn tune(
         &mut self,
         workload: &Workload,
-        cloud: &mut CloudEnvironment,
+        exec: &mut dyn ExecutionBackend,
         budget: TuningBudget,
     ) -> TuningOutcome;
 }
@@ -40,10 +42,10 @@ mod tests {
         fn tune(
             &mut self,
             workload: &Workload,
-            cloud: &mut CloudEnvironment,
+            exec: &mut dyn ExecutionBackend,
             budget: TuningBudget,
         ) -> TuningOutcome {
-            let mut evaluator = CloudEvaluator::new(workload, cloud, budget);
+            let mut evaluator = CloudEvaluator::new(workload, exec, budget);
             evaluator.evaluate(0);
             evaluator.finish(self.name(), 0)
         }
@@ -51,7 +53,7 @@ mod tests {
 
     #[test]
     fn trait_objects_work() {
-        use dg_cloudsim::{InterferenceProfile, VmType};
+        use dg_cloudsim::{CloudEnvironment, InterferenceProfile, VmType};
         use dg_workloads::Application;
 
         let workload = Workload::scaled(Application::Redis, 2_000);

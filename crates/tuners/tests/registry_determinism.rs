@@ -1,0 +1,84 @@
+//! Determinism of the tuner registry: name ordering and builder output are pinned
+//! across independent constructions, which campaign grids (and their fingerprints)
+//! rely on.
+
+use dg_cloudsim::{CloudEnvironment, InterferenceProfile, VmType};
+use dg_tuners::{Tuner, TunerRegistry, TuningBudget, TuningOutcome};
+use dg_workloads::{Application, Workload};
+
+/// The pinned baseline order. Changing it silently re-keys every campaign grid, so a
+/// deliberate change must update this test (and regenerate any stored golden reports).
+const BASELINE_ORDER: [&str; 5] = [
+    "Exhaustive",
+    "BLISS",
+    "OpenTuner",
+    "ActiveHarmony",
+    "RandomSearch",
+];
+
+#[test]
+fn baseline_name_ordering_is_pinned_across_constructions() {
+    let first = TunerRegistry::baselines();
+    let second = TunerRegistry::baselines();
+    assert_eq!(first.names(), BASELINE_ORDER.to_vec());
+    assert_eq!(first.names(), second.names());
+}
+
+fn tune_with(registry: &TunerRegistry, name: &str, seed: u64, env_seed: u64) -> TuningOutcome {
+    let workload = Workload::scaled(Application::Redis, 2_000);
+    let mut cloud =
+        CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), env_seed);
+    let mut tuner: Box<dyn Tuner> = registry
+        .build(name, seed, VmType::M5_8xlarge)
+        .expect("baseline is registered");
+    tuner.tune(&workload, &mut cloud, TuningBudget::evaluations(12))
+}
+
+#[test]
+fn builders_produce_identical_tuner_behavior_across_constructions() {
+    // Two independently constructed registries, same (name, seed, vm): the built
+    // tuners must behave identically down to the bit when run on identical
+    // environments.
+    for name in BASELINE_ORDER {
+        let a = tune_with(&TunerRegistry::baselines(), name, 7, 21);
+        let b = tune_with(&TunerRegistry::baselines(), name, 7, 21);
+        assert_eq!(a.tuner, b.tuner, "{name}: display name");
+        assert_eq!(a.chosen, b.chosen, "{name}: chosen configuration");
+        assert_eq!(a.samples, b.samples, "{name}: sample count");
+        assert_eq!(
+            a.core_hours.to_bits(),
+            b.core_hours.to_bits(),
+            "{name}: core-hours must match bitwise"
+        );
+        assert_eq!(
+            a.wall_clock_seconds.to_bits(),
+            b.wall_clock_seconds.to_bits(),
+            "{name}: wall clock must match bitwise"
+        );
+        let history_a: Vec<(u64, u64)> = a
+            .history
+            .iter()
+            .map(|s| (s.config, s.observed_time.to_bits()))
+            .collect();
+        let history_b: Vec<(u64, u64)> = b
+            .history
+            .iter()
+            .map(|s| (s.config, s.observed_time.to_bits()))
+            .collect();
+        assert_eq!(history_a, history_b, "{name}: full sample history");
+    }
+}
+
+#[test]
+fn different_seeds_and_vms_reach_the_same_factory() {
+    let registry = TunerRegistry::baselines();
+    // Same registry, different seeds: behavior may differ, identity must not.
+    let a = tune_with(&registry, "RandomSearch", 1, 5);
+    let b = tune_with(&registry, "RandomSearch", 2, 5);
+    assert_eq!(a.tuner, b.tuner);
+    assert_ne!(
+        a.history.iter().map(|s| s.config).collect::<Vec<_>>(),
+        b.history.iter().map(|s| s.config).collect::<Vec<_>>(),
+        "different tuner seeds must explore differently"
+    );
+}

@@ -1,0 +1,118 @@
+//! Record a campaign once, replay it forever: the record/replay execution backend.
+//!
+//! The campaign runs live once with a recording backend wrapped around the simulator,
+//! producing a [`CampaignReport`] plus an execution trace (canonical JSON). The trace
+//! is written to disk, parsed back, and replayed: every game, solo evaluation, and
+//! observation is answered from the trace with **zero** simulator operations, and the
+//! replayed report is verified **byte-identical** to the live one. Repeated sweeps
+//! over recorded campaigns (fig15/fig16-style analyses, report regeneration, CI) pay
+//! the simulation cost once and replay near-instantly afterwards.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example record_replay
+//! ```
+//!
+//! Environment knobs: `DG_TRACE_DIR` (where to write `trace.json` / the two report
+//! files, default: a fresh directory under the system temp dir).
+
+use darwingame::exec::sim_ops;
+use darwingame::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A small but representative grid: DarwinGame (games, forks, solo runs) and two
+/// baselines (solo runs) over two seeds, with post-tuning repeated observations.
+fn spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::single("record-replay", "DarwinGame", 2);
+    spec.tuners = vec!["DarwinGame".into(), "RandomSearch".into(), "BLISS".into()];
+    spec.scale = ExperimentScale::smoke();
+    spec.base_seed = 0x7ace;
+    spec
+}
+
+fn out_dir() -> PathBuf {
+    match std::env::var("DG_TRACE_DIR") {
+        Ok(dir) => PathBuf::from(dir),
+        Err(_) => std::env::temp_dir().join(format!("dg-record-replay-{}", std::process::id())),
+    }
+}
+
+fn main() {
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    let campaign = Campaign::new(spec());
+    println!(
+        "=== Record & replay: {} cells ===\n",
+        campaign.spec().grid_size()
+    );
+
+    // 1. Live run, recorded. One worker keeps the whole run on this thread, so the
+    // thread-local simulator-op counter measures exactly this campaign's work.
+    let sim_ops_before_record = sim_ops();
+    let record_start = Instant::now();
+    let (live_report, trace) = campaign.record_with_workers(1);
+    let record_elapsed = record_start.elapsed();
+    let recorded_ops = sim_ops() - sim_ops_before_record;
+    println!(
+        "recorded: {} cells, {} streams, {} events, {} simulator ops, {:.2} s",
+        live_report.completed_cells(),
+        trace.streams().len(),
+        trace.events_total(),
+        recorded_ops,
+        record_elapsed.as_secs_f64(),
+    );
+
+    // 2. Persist trace + report, the way a stored campaign artifact would travel.
+    let trace_path = dir.join("trace.json");
+    let live_path = dir.join("report-live.json");
+    std::fs::write(&trace_path, trace.to_json()).expect("write trace");
+    std::fs::write(&live_path, live_report.to_json()).expect("write live report");
+
+    // 3. Parse the trace back and replay with zero resimulation.
+    let parsed = Arc::new(
+        ExecutionTrace::from_json(&std::fs::read_to_string(&trace_path).expect("read trace back"))
+            .expect("stored traces parse"),
+    );
+    // Single-worker replay runs on this thread, so the thread-local simulator-op
+    // counter proves zero resimulation exactly.
+    let sim_ops_before_replay = sim_ops();
+    let replay_start = Instant::now();
+    let replayed_report = campaign
+        .replay_with_workers(Arc::clone(&parsed), 1)
+        .expect("trace matches its own spec");
+    let replay_elapsed = replay_start.elapsed();
+    assert_eq!(
+        sim_ops() - sim_ops_before_replay,
+        0,
+        "replay must not execute any simulator operation"
+    );
+    let replay_path = dir.join("report-replayed.json");
+    std::fs::write(&replay_path, replayed_report.to_json()).expect("write replayed report");
+
+    // 4. Byte-identity, on disk.
+    let live_bytes = std::fs::read(&live_path).expect("read live report");
+    let replay_bytes = std::fs::read(&replay_path).expect("read replayed report");
+    assert_eq!(
+        live_bytes, replay_bytes,
+        "replayed report must be byte-identical to the live run"
+    );
+    println!(
+        "replayed: byte-identical report, 0 simulator ops, {:.3} s ({:.0}x faster)\n",
+        replay_elapsed.as_secs_f64(),
+        record_elapsed.as_secs_f64() / replay_elapsed.as_secs_f64().max(1e-9),
+    );
+
+    // 5. A trace is pinned to its spec: a different grid is rejected, typed.
+    let mut other = spec();
+    other.base_seed ^= 1;
+    match Campaign::new(other).replay(Arc::clone(&parsed)) {
+        Err(err) => println!("mismatched spec rejected as expected:\n  {err}"),
+        Ok(_) => panic!("a reseeded spec must not accept the trace"),
+    }
+
+    println!("\nartifacts in {}", dir.display());
+    println!("{}", live_report.summary_table().render());
+}

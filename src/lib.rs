@@ -11,6 +11,8 @@
 //!   BLISS ([`dg_tuners`]).
 //! * [`darwin`] — the DarwinGame tournament tuner and hybrid integration
 //!   ([`darwin_core`]).
+//! * [`exec`] — the [`dg_exec::ExecutionBackend`] trait with simulation, record/replay,
+//!   and memoizing backends ([`dg_exec`]).
 //! * [`stats`] — shared statistics helpers ([`dg_stats`]).
 //! * [`campaign`] — the parallel experiment-campaign runner ([`dg_campaign`]).
 //!
@@ -33,6 +35,7 @@
 pub use darwin_core as darwin;
 pub use dg_campaign as campaign;
 pub use dg_cloudsim as cloudsim;
+pub use dg_exec as exec;
 pub use dg_stats as stats;
 pub use dg_tuners as tuners;
 pub use dg_workloads as workloads;
@@ -49,6 +52,10 @@ pub mod prelude {
     pub use dg_cloudsim::{
         CloudEnvironment, DedicatedEnvironment, ExecutionSpec, InterferenceProfile, SimRng,
         SimTime, VmType,
+    };
+    pub use dg_exec::{
+        BackendProvider, ExecutionBackend, ExecutionTrace, GameRules, MemoBackend, SimBackend,
+        TraceRecorder, TraceReplayer,
     };
     pub use dg_stats::{coefficient_of_variation, mean, EmpiricalCdf, Summary};
     pub use dg_tuners::{
