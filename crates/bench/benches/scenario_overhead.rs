@@ -1,0 +1,133 @@
+//! Scenario-engine wrapper overhead (fig15-style leg).
+//!
+//! The scenario engine promises that wrapping a backend in a pass-through
+//! [`ScenarioBackend`] costs effectively nothing: the wrapper adds a handful of float
+//! multiplies and a timeline lookup per operation, against thousands of integration
+//! steps inside each simulated game. This bench drives the identical operation
+//! sequence through a bare `SimBackend` and through a `steady`-wrapped one, asserts
+//! the results are bit-identical, and demands the best-of-repeats wall-clock
+//! overhead stays under 5 %. A third leg reports the cost of an *active* timeline (`regime-shift`)
+//! for context — that one is allowed to change results, so only its time is shown.
+//!
+//! Run with `cargo bench --bench scenario_overhead`. Set `DG_SCENARIO_SMOKE=1` for
+//! the CI-sized workload.
+
+use dg_cloudsim::{ExecutionSpec, InterferenceProfile, VmType};
+use dg_exec::{ExecutionBackend, GameRules, SimBackend};
+use dg_scenario::{ScenarioBackend, ScenarioSpec};
+use std::time::Instant;
+
+const VM: VmType = VmType::M5_8xlarge;
+
+/// One workload unit: a committed 4-player game, a solo run, and three observations —
+/// the operation mix campaign cells actually issue.
+fn drive(exec: &mut dyn ExecutionBackend, round: u64) -> f64 {
+    let specs = [
+        ExecutionSpec::new(180.0 + round as f64 % 17.0, 0.6),
+        ExecutionSpec::new(220.0, 0.3),
+        ExecutionSpec::new(260.0, 0.9),
+        ExecutionSpec::new(300.0, 0.1),
+    ];
+    let play = exec.play_game(&specs, &GameRules::default());
+    exec.commit(&play);
+    let run = exec.run_single(specs[0]);
+    let mut acc: f64 = play.observed_times.iter().sum::<f64>() + run.observed_time;
+    acc += exec
+        .observe_repeated(specs[1], 3, 900.0)
+        .into_iter()
+        .sum::<f64>();
+    acc
+}
+
+/// Total observed seconds plus final accounting, as a bitwise-comparable signature.
+fn sweep(mut exec: Box<dyn ExecutionBackend>, rounds: u64) -> (u64, u64, u64) {
+    let mut acc = 0.0_f64;
+    for round in 0..rounds {
+        acc += drive(exec.as_mut(), round);
+    }
+    (
+        acc.to_bits(),
+        exec.cost().core_hours().to_bits(),
+        exec.clock().as_seconds().to_bits(),
+    )
+}
+
+fn bare(seed: u64) -> Box<dyn ExecutionBackend> {
+    Box::new(SimBackend::new(VM, InterferenceProfile::typical(), seed))
+}
+
+fn wrapped(scenario: &ScenarioSpec, seed: u64) -> Box<dyn ExecutionBackend> {
+    Box::new(ScenarioBackend::new(bare(seed), scenario.clone(), seed))
+}
+
+/// Best-of-repeats: the standard overhead estimator — the minimum is the run least
+/// disturbed by the scheduler, and both legs get the same treatment.
+fn best(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let smoke = std::env::var("DG_SCENARIO_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    // Each round costs ~70 us; the sweeps must be long enough that per-sweep timer and
+    // scheduler noise sits well under the 5% budget being verified.
+    let rounds: u64 = if smoke { 1_500 } else { 6_000 };
+    let repeats = 7;
+
+    println!("=== Scenario-engine wrapper overhead ({rounds} rounds x {repeats} repeats) ===\n");
+
+    // Warm-up pass, and the correctness gate: steady wrapping must not change a bit.
+    let reference = sweep(bare(1), rounds);
+    assert_eq!(
+        sweep(wrapped(&ScenarioSpec::steady(), 1), rounds),
+        reference,
+        "steady-wrapped execution must be bit-identical to the bare backend"
+    );
+
+    let mut bare_times = Vec::with_capacity(repeats);
+    let mut steady_times = Vec::with_capacity(repeats);
+    let mut active_times = Vec::with_capacity(repeats);
+    let steady = ScenarioSpec::steady();
+    let active = ScenarioSpec::by_name("regime-shift").expect("pack scenario");
+    for repeat in 0..repeats as u64 {
+        let seed = 100 + repeat;
+        let start = Instant::now();
+        let a = sweep(bare(seed), rounds);
+        bare_times.push(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let b = sweep(wrapped(&steady, seed), rounds);
+        steady_times.push(start.elapsed().as_secs_f64());
+        assert_eq!(
+            a, b,
+            "steady wrapping must stay bit-identical at every seed"
+        );
+
+        let start = Instant::now();
+        let _ = sweep(wrapped(&active, seed), rounds);
+        active_times.push(start.elapsed().as_secs_f64());
+    }
+
+    let bare_best = best(&bare_times);
+    let steady_best = best(&steady_times);
+    let active_best = best(&active_times);
+    let overhead_percent = 100.0 * (steady_best / bare_best - 1.0);
+
+    println!(
+        "bare SimBackend:           {:>8.4} s (best of {repeats})",
+        bare_best
+    );
+    println!(
+        "steady ScenarioBackend:    {:>8.4} s (best of {repeats}, {overhead_percent:+.2}% vs bare, bit-identical)",
+        steady_best
+    );
+    println!(
+        "regime-shift scenario:     {:>8.4} s (best of {repeats}; active timeline, results differ by design)",
+        active_best
+    );
+
+    assert!(
+        overhead_percent < 5.0,
+        "pass-through scenario wrapper overhead must stay under 5% (measured {overhead_percent:.2}%)"
+    );
+    println!("\nwrapper overhead {overhead_percent:+.2}% < 5% budget — OK");
+}

@@ -19,6 +19,7 @@ use darwin_core::{AblationConfig, DarwinGame, TournamentConfig};
 use dg_exec::{
     BackendProvider, ExecutionTrace, SimProvider, TraceError, TraceRecorder, TraceReplayer,
 };
+use dg_scenario::ScenarioBackend;
 use dg_tuners::{TunerRegistry, TuningBudget};
 use dg_workloads::Workload;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -395,7 +396,17 @@ fn run_cell(
     let tuner_seed = root.derive("tuner").derive_index(cell.seed).seed();
 
     let workload = Workload::scaled(cell.application, spec.scale.space_size);
-    let mut exec = provider.backend(&cell_stream(cell), cell.vm, &cell.profile, env_seed);
+    // The scenario may override the cell's interference profile; the provider sees the
+    // effective profile (it is what trace stream headers record and replay validates).
+    let profile = cell.scenario.profile.as_ref().unwrap_or(&cell.profile);
+    let mut exec = provider.backend(&cell_stream(cell), cell.vm, profile, env_seed);
+    if !cell.scenario.is_passthrough() {
+        // The scenario wraps *outside* the provider's backend, so recording captures
+        // raw inner outcomes and replay re-applies the same deterministic timeline —
+        // record→replay stays byte-identical with zero resimulation. Pass-through
+        // scenarios run unwrapped, bit-identical to pre-scenario campaigns.
+        exec = Box::new(ScenarioBackend::new(exec, cell.scenario.clone(), env_seed));
+    }
     let mut tuner = registry
         .build(&cell.tuner, tuner_seed, cell.vm)
         .expect("tuner axis validated at construction");
@@ -413,6 +424,7 @@ fn run_cell(
         application: cell.application.name().to_string(),
         vm: cell.vm.name().to_string(),
         profile: profile_label(&cell.profile),
+        scenario: cell.scenario.name.clone(),
         seed: cell.seed,
         chosen: outcome.chosen,
         mean_time: dg_stats::mean(&runs),

@@ -1,11 +1,15 @@
 //! Parallel experiment campaigns for the DarwinGame reproduction.
 //!
 //! The paper's evaluation is not one tournament but thousands: sweeps over tuners,
-//! applications, VM types, interference profiles, and seeds (Figs. 10–16, Table 1).
-//! This crate turns "run one tuning session" into "run a campaign":
+//! applications, VM types, interference profiles, cloud scenarios, and seeds
+//! (Figs. 10–16, Table 1). This crate turns "run one tuning session" into "run a
+//! campaign":
 //!
 //! * [`CampaignSpec`] declares the cross-product grid plus per-axis budget overrides
-//!   and optional budget caps;
+//!   and optional budget caps; its scenario axis (`dg-scenario`'s [`ScenarioSpec`])
+//!   sweeps the same grid across dynamic cloud regimes — preemptions, diurnal load,
+//!   regime shifts, heterogeneous fleets — with the default `steady` scenario
+//!   reproducing scenario-less campaigns byte-identically;
 //! * [`Campaign`] fans the cells out across worker threads (a shared-cursor
 //!   work-stealing pool over the `crossbeam` scoped-thread shim) while keeping results
 //!   **deterministic**: every cell derives its RNG streams from
@@ -45,6 +49,7 @@ mod shard;
 mod spec;
 
 pub use dg_exec::{BackendProvider, ExecutionTrace, TraceError};
+pub use dg_scenario::{ScenarioBackend, ScenarioEvent, ScenarioProvider, ScenarioSpec};
 pub use executor::{default_workers, register_darwin_variant, standard_registry, Campaign};
 pub use report::{CampaignReport, CellResult, GroupSummary};
 pub use scale::ExperimentScale;

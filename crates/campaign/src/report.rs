@@ -19,6 +19,8 @@ pub struct CellResult {
     pub vm: String,
     /// Interference-profile label.
     pub profile: String,
+    /// Scenario name (`"steady"` for the default pass-through scenario).
+    pub scenario: String,
     /// Seed-axis value (replicate id).
     pub seed: u64,
     /// The configuration the tuner selected.
@@ -36,9 +38,21 @@ pub struct CellResult {
     pub wall_clock_seconds: f64,
 }
 
+/// The scenario label of the default pass-through scenario. Cells and groups carrying
+/// it serialize without a `scenario` key, so default-axis reports stay byte-identical
+/// to reports produced before the scenario axis existed; parsers treat a missing key
+/// as this label.
+pub(crate) const STEADY_SCENARIO: &str = "steady";
+
 impl CellResult {
-    fn group_key(&self) -> (&str, &str, &str, &str) {
-        (&self.tuner, &self.application, &self.vm, &self.profile)
+    fn group_key(&self) -> (&str, &str, &str, &str, &str) {
+        (
+            &self.tuner,
+            &self.application,
+            &self.vm,
+            &self.profile,
+            &self.scenario,
+        )
     }
 
     pub(crate) fn to_json(&self, out: &mut String) {
@@ -54,6 +68,10 @@ impl CellResult {
         push_str_literal(out, &self.vm);
         push_key(out, &mut first, "profile");
         push_str_literal(out, &self.profile);
+        if self.scenario != STEADY_SCENARIO {
+            push_key(out, &mut first, "scenario");
+            push_str_literal(out, &self.scenario);
+        }
         push_key(out, &mut first, "seed");
         let _ = std::fmt::Write::write_fmt(out, format_args!("{}", self.seed));
         push_key(out, &mut first, "chosen");
@@ -73,7 +91,7 @@ impl CellResult {
 }
 
 /// Streaming aggregate over all completed cells that share a `(tuner, application, vm,
-/// profile)` coordinate — i.e. over the seed axis.
+/// profile, scenario)` coordinate — i.e. over the seed axis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GroupSummary {
     /// Tuner-axis name.
@@ -84,6 +102,8 @@ pub struct GroupSummary {
     pub vm: String,
     /// Interference-profile label.
     pub profile: String,
+    /// Scenario name (`"steady"` for the default pass-through scenario).
+    pub scenario: String,
     /// Number of completed cells in the group.
     pub cells: usize,
     /// Mean over the group's per-cell mean execution times (seconds).
@@ -113,6 +133,10 @@ impl GroupSummary {
         push_str_literal(out, &self.vm);
         push_key(out, &mut first, "profile");
         push_str_literal(out, &self.profile);
+        if self.scenario != STEADY_SCENARIO {
+            push_key(out, &mut first, "scenario");
+            push_str_literal(out, &self.scenario);
+        }
         push_key(out, &mut first, "cells");
         let _ = std::fmt::Write::write_fmt(out, format_args!("{}", self.cells));
         push_key(out, &mut first, "mean_time");
@@ -137,6 +161,7 @@ struct GroupAccumulator {
     application: String,
     vm: String,
     profile: String,
+    scenario: String,
     times: OnlineStats,
     covs: OnlineStats,
     hours_sum: f64,
@@ -150,6 +175,7 @@ impl GroupAccumulator {
             application: cell.application.clone(),
             vm: cell.vm.clone(),
             profile: cell.profile.clone(),
+            scenario: cell.scenario.clone(),
             times: OnlineStats::new(),
             covs: OnlineStats::new(),
             hours_sum: 0.0,
@@ -171,6 +197,7 @@ impl GroupAccumulator {
             application: self.application,
             vm: self.vm,
             profile: self.profile,
+            scenario: self.scenario,
             cells: self.times.count() as usize,
             mean_time: self.times.mean(),
             across_seed_cov_percent: self.times.coefficient_of_variation(),
@@ -204,8 +231,8 @@ pub struct CampaignReport {
     pub total_core_hours: f64,
     /// Every completed cell, in stable grid order.
     pub cells: Vec<CellResult>,
-    /// Per-`(tuner, application, vm, profile)` aggregates over the seed axis, in
-    /// first-appearance (grid) order.
+    /// Per-`(tuner, application, vm, profile, scenario)` aggregates over the seed
+    /// axis, in first-appearance (grid) order.
     pub groups: Vec<GroupSummary>,
 }
 
@@ -228,6 +255,7 @@ impl CampaignReport {
                     a.application.as_str(),
                     a.vm.as_str(),
                     a.profile.as_str(),
+                    a.scenario.as_str(),
                 ) == cell.group_key()
             }) {
                 Some(accumulator) => accumulator.push(cell),
@@ -307,6 +335,7 @@ impl CampaignReport {
             Column::left("application"),
             Column::left("VM"),
             Column::left("profile"),
+            Column::left("scenario"),
             Column::right("cells"),
             Column::right("mean time (s)"),
             Column::right("seed CoV (%)"),
@@ -319,6 +348,7 @@ impl CampaignReport {
                 group.application.clone(),
                 group.vm.clone(),
                 group.profile.clone(),
+                group.scenario.clone(),
                 format!("{}", group.cells),
                 format!("{:.1}", group.mean_time),
                 format!("{:.2}", group.across_seed_cov_percent),
@@ -341,6 +371,7 @@ mod tests {
             application: "Redis".into(),
             vm: "m5.8xlarge".into(),
             profile: "typical".into(),
+            scenario: STEADY_SCENARIO.into(),
             seed,
             chosen: 42,
             mean_time,
@@ -404,6 +435,40 @@ mod tests {
         ] {
             assert!(a.contains(key), "missing {key} in {a}");
         }
+    }
+
+    #[test]
+    fn scenarios_split_groups_and_only_non_steady_labels_serialize() {
+        let mut shifted = cell(2, "Random", 0, 130.0);
+        shifted.scenario = "regime-shift".into();
+        let report = CampaignReport::from_cells(
+            "scenario-split".into(),
+            3,
+            3,
+            false,
+            vec![
+                cell(0, "Random", 0, 100.0),
+                cell(1, "Random", 1, 110.0),
+                shifted,
+            ],
+        );
+        assert_eq!(
+            report.groups.len(),
+            2,
+            "different scenarios must not share a group"
+        );
+        assert_eq!(report.groups[0].scenario, "steady");
+        assert_eq!(report.groups[1].scenario, "regime-shift");
+        let json = report.to_json();
+        assert_eq!(
+            json.matches("\"scenario\":\"regime-shift\"").count(),
+            2,
+            "one cell + one group carry the label"
+        );
+        assert!(
+            !json.contains("\"scenario\":\"steady\""),
+            "steady cells serialize without a scenario key (pre-axis byte compatibility)"
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! different spec — are rejected with typed [`MergeError`]s instead of corrupting the
 //! output.
 
-use crate::report::{CampaignReport, CellResult};
+use crate::report::{CampaignReport, CellResult, STEADY_SCENARIO};
 use crate::spec::CampaignSpec;
 use dg_exec::json::{self, push_key, push_str_literal, JsonValue};
 use std::fmt;
@@ -397,6 +397,15 @@ fn parse_cell(value: &JsonValue) -> Result<CellResult, ShardParseError> {
         application: str_field(value, "application")?,
         vm: str_field(value, "vm")?,
         profile: str_field(value, "profile")?,
+        // The writer omits the scenario key for the default pass-through scenario, so
+        // pre-scenario shard reports (and default-axis ones) stay parseable unchanged.
+        scenario: match value.get("scenario") {
+            Some(scenario) => scenario
+                .as_str()
+                .ok_or_else(|| ShardParseError::new("field \"scenario\" is not a string"))?
+                .to_string(),
+            None => STEADY_SCENARIO.to_string(),
+        },
         seed: number_field(value, "seed")?,
         chosen: number_field(value, "chosen")?,
         mean_time: f64_field(value, "mean_time")?,
@@ -785,6 +794,7 @@ mod tests {
             application: "Redis".into(),
             vm: "m5.8xlarge".into(),
             profile: "typical".into(),
+            scenario: "steady".into(),
             seed: index as u64,
             chosen: 7,
             mean_time: 100.0 + index as f64,

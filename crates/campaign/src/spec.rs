@@ -2,6 +2,7 @@
 
 use crate::scale::ExperimentScale;
 use dg_cloudsim::{mix, InterferenceProfile, SimRng, VmType};
+use dg_scenario::ScenarioSpec;
 use dg_workloads::Application;
 use serde::{Deserialize, Serialize};
 
@@ -28,16 +29,20 @@ pub struct CellCoord {
     pub vm: VmType,
     /// Interference profile of the cell's cloud environment.
     pub profile: InterferenceProfile,
+    /// Cloud scenario the cell runs under (`steady` executes unwrapped, exactly as
+    /// before the scenario axis existed).
+    pub scenario: ScenarioSpec,
     /// Seed-axis value (the replicate identifier, *not* the raw RNG seed).
     pub seed: u64,
 }
 
 /// Declarative description of an experiment campaign: the cross product of a tuner axis,
-/// an application axis, a VM axis, an interference-profile axis, and a seed axis, plus
-/// the per-cell experiment scale and optional budget caps.
+/// an application axis, a VM axis, an interference-profile axis, a cloud-scenario axis,
+/// and a seed axis, plus the per-cell experiment scale and optional budget caps.
 ///
 /// Cells are enumerated in a stable nested order — tuners outermost, then applications,
-/// VM types, profiles, and seeds innermost — and each cell derives its RNG streams from
+/// VM types, profiles, scenarios, and seeds innermost — and each cell derives its RNG
+/// streams from
 /// [`cell_seed`](Self::cell_seed), so each cell's result depends only on the spec, never
 /// on worker count or completion order. Whole-campaign reports are likewise identical
 /// across worker counts, except that a `max_core_hours`-capped run's *completed set*
@@ -54,6 +59,11 @@ pub struct CampaignSpec {
     pub vm_types: Vec<VmType>,
     /// Interference-profile axis.
     pub profiles: Vec<InterferenceProfile>,
+    /// Cloud-scenario axis (see `dg_scenario::ScenarioSpec`). Defaults to the single
+    /// pass-through [`ScenarioSpec::steady`], which reproduces scenario-less campaigns
+    /// byte-identically; widen it (e.g. to [`ScenarioSpec::pack`]) to sweep tuners
+    /// across dynamic cloud regimes.
+    pub scenarios: Vec<ScenarioSpec>,
     /// Seed axis: one replicate per value.
     pub seeds: Vec<u64>,
     /// Per-cell experiment scale (workload size, tournament regions, budgets,
@@ -89,6 +99,7 @@ impl CampaignSpec {
             applications: Vec::new(),
             vm_types: Vec::new(),
             profiles: Vec::new(),
+            scenarios: vec![ScenarioSpec::steady()],
             seeds: Vec::new(),
             scale: ExperimentScale::default_scale(),
             base_seed: 0x0da2,
@@ -118,7 +129,15 @@ impl CampaignSpec {
             * self.applications.len()
             * self.vm_types.len()
             * self.profiles.len()
+            * self.scenarios.len()
             * self.seeds.len()
+    }
+
+    /// True when the scenario axis is the implicit default — exactly one pass-through
+    /// [`ScenarioSpec::steady`]. Default-axis specs fingerprint and serialize exactly
+    /// as they did before the axis existed, so pre-scenario reports stay byte-identical.
+    pub fn has_default_scenarios(&self) -> bool {
+        self.scenarios.len() == 1 && self.scenarios[0] == ScenarioSpec::steady()
     }
 
     /// Validates the spec.
@@ -140,6 +159,21 @@ impl CampaignSpec {
             !self.profiles.is_empty(),
             "campaign needs at least one interference profile"
         );
+        assert!(
+            !self.scenarios.is_empty(),
+            "campaign needs at least one scenario"
+        );
+        for scenario in &self.scenarios {
+            scenario.validate();
+        }
+        {
+            let mut names: Vec<&str> = self.scenarios.iter().map(|s| s.name.as_str()).collect();
+            names.sort_unstable();
+            assert!(
+                names.windows(2).all(|w| w[0] != w[1]),
+                "scenario names must be unique within a campaign (they key cells and groups)"
+            );
+        }
         assert!(!self.seeds.is_empty(), "campaign needs at least one seed");
         if let Some(max_cells) = self.max_cells {
             assert!(max_cells > 0, "max_cells must be positive when set");
@@ -166,21 +200,24 @@ impl CampaignSpec {
             for app in &self.applications {
                 for vm in &self.vm_types {
                     for profile in &self.profiles {
-                        for seed in &self.seeds {
-                            cells.push(CellCoord {
-                                index,
-                                seed_index: if self.paired_tuners {
-                                    index % cells_per_tuner.max(1)
-                                } else {
-                                    index
-                                },
-                                tuner: tuner.clone(),
-                                application: *app,
-                                vm: *vm,
-                                profile: profile.clone(),
-                                seed: *seed,
-                            });
-                            index += 1;
+                        for scenario in &self.scenarios {
+                            for seed in &self.seeds {
+                                cells.push(CellCoord {
+                                    index,
+                                    seed_index: if self.paired_tuners {
+                                        index % cells_per_tuner.max(1)
+                                    } else {
+                                        index
+                                    },
+                                    tuner: tuner.clone(),
+                                    application: *app,
+                                    vm: *vm,
+                                    profile: profile.clone(),
+                                    scenario: scenario.clone(),
+                                    seed: *seed,
+                                });
+                                index += 1;
+                            }
                         }
                     }
                 }
@@ -223,6 +260,15 @@ impl CampaignSpec {
         for profile in &self.profiles {
             push(&profile_label(profile));
         }
+        // The default single-steady axis is omitted so default-axis specs fingerprint
+        // exactly as they did before the scenario axis existed (shard reports and
+        // traces recorded pre-axis stay mergeable/replayable).
+        if !self.has_default_scenarios() {
+            push("|scenarios");
+            for scenario in &self.scenarios {
+                push(&format!("{:016x}", scenario.fingerprint()));
+            }
+        }
         push("|seeds");
         for seed in &self.seeds {
             push(&format!("{seed}"));
@@ -250,12 +296,7 @@ impl CampaignSpec {
         ));
         push(&format!("|paired:{}", self.paired_tuners));
 
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in encoded.as_bytes() {
-            hash ^= u64::from(*byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash
+        dg_exec::json::fnv1a(&encoded)
     }
 
     /// The deterministic root seed of cell `index`, derived with the simulator's
@@ -416,6 +457,57 @@ mod tests {
         let mut paired = two_by_two();
         paired.paired_tuners = true;
         assert_ne!(spec.fingerprint(), paired.fingerprint());
+    }
+
+    #[test]
+    fn scenario_axis_multiplies_the_grid_between_profiles_and_seeds() {
+        use dg_scenario::ScenarioSpec;
+        let mut spec = two_by_two();
+        assert!(spec.has_default_scenarios());
+        spec.scenarios = vec![
+            ScenarioSpec::steady(),
+            ScenarioSpec::by_name("regime-shift").unwrap(),
+        ];
+        assert!(!spec.has_default_scenarios());
+        assert_eq!(spec.grid_size(), 8);
+        let cells = spec.cells();
+        // Scenario is the second-innermost axis: seeds cycle fastest.
+        assert_eq!(cells[0].scenario.name, "steady");
+        assert_eq!(cells[0].seed, 0);
+        assert_eq!(cells[1].scenario.name, "steady");
+        assert_eq!(cells[1].seed, 1);
+        assert_eq!(cells[2].scenario.name, "regime-shift");
+        assert_eq!(cells[2].seed, 0);
+        spec.validate();
+    }
+
+    #[test]
+    fn scenario_axis_changes_the_fingerprint() {
+        use dg_scenario::ScenarioSpec;
+        let spec = two_by_two();
+        let mut swept = two_by_two();
+        swept.scenarios = vec![
+            ScenarioSpec::steady(),
+            ScenarioSpec::by_name("diurnal").unwrap(),
+        ];
+        assert_ne!(spec.fingerprint(), swept.fingerprint());
+
+        let mut renamed_steady = two_by_two();
+        renamed_steady.scenarios = vec![ScenarioSpec::new("calm")];
+        assert_ne!(
+            spec.fingerprint(),
+            renamed_steady.fingerprint(),
+            "only the canonical steady scenario is fingerprint-neutral"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unique within a campaign")]
+    fn duplicate_scenario_names_rejected() {
+        use dg_scenario::ScenarioSpec;
+        let mut spec = two_by_two();
+        spec.scenarios = vec![ScenarioSpec::steady(), ScenarioSpec::steady()];
+        spec.validate();
     }
 
     #[test]

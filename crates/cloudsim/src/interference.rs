@@ -328,8 +328,21 @@ impl InterferenceProfile {
     }
 
     /// Long-run mean level of the profile (for calibration and documentation).
+    ///
+    /// # Sampling contract
+    ///
+    /// The `seed` selects a concrete noise *realisation*, but every model's
+    /// [`InterferenceModel::mean_level`] is an analytic expectation that is independent
+    /// of the realisation — so this function returns the same value for every seed.
+    /// The parameter exists because composite profiles are only instantiated per node
+    /// (see [`build`](Self::build)); the seedless `Dedicated`/`Constant` cases answer
+    /// directly without boxing a model at all.
     pub fn mean_level(&self, seed: u64) -> f64 {
-        self.build(seed).mean_level()
+        match self {
+            InterferenceProfile::Dedicated => 0.0,
+            InterferenceProfile::Constant(level) => *level,
+            _ => self.build(seed).mean_level(),
+        }
     }
 }
 
@@ -478,6 +491,26 @@ mod tests {
             }
         }
         assert!(differs);
+    }
+
+    #[test]
+    fn mean_level_is_seed_independent_and_cheap_for_seedless_profiles() {
+        // Seedless cases answer without building a model; all cases are analytic
+        // expectations, so the seed never changes the answer.
+        assert_eq!(InterferenceProfile::Dedicated.mean_level(1), 0.0);
+        assert_eq!(InterferenceProfile::Constant(0.4).mean_level(1), 0.4);
+        for profile in [
+            InterferenceProfile::Dedicated,
+            InterferenceProfile::Constant(0.7),
+            InterferenceProfile::Typical,
+            InterferenceProfile::Heavy,
+        ] {
+            assert_eq!(
+                profile.mean_level(1).to_bits(),
+                profile.mean_level(999).to_bits(),
+                "{profile:?}: mean_level must not depend on the seed"
+            );
+        }
     }
 
     #[test]

@@ -106,6 +106,12 @@ impl VmType {
         }
     }
 
+    /// Parses a canonical AWS-style name (see [`name`](Self::name)) back into a VM
+    /// type; `None` for names outside the catalog.
+    pub fn from_name(name: &str) -> Option<VmType> {
+        Self::ALL.into_iter().find(|vm| vm.name() == name)
+    }
+
     /// The canonical AWS-style name, e.g. `"m5.8xlarge"`.
     pub fn name(&self) -> &'static str {
         match self {
@@ -175,6 +181,14 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(VmType::C5_9xlarge.to_string(), "c5.9xlarge");
+    }
+
+    #[test]
+    fn names_round_trip_through_from_name() {
+        for vm in VmType::ALL {
+            assert_eq!(VmType::from_name(vm.name()), Some(vm));
+        }
+        assert_eq!(VmType::from_name("t2.nano"), None);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! converted, so integer fields parse exactly (`u64` seeds above 2^53 survive) and
 //! float fields round-trip bit for bit through Rust's shortest-round-trip rendering.
 
+use dg_cloudsim::InterferenceProfile;
 use std::fmt::Write as _;
 
 /// Appends a JSON string literal (with escaping) to `out`.
@@ -53,6 +54,102 @@ pub fn push_key(out: &mut String, first: &mut bool, key: &str) {
     *first = false;
     push_str_literal(out, key);
     out.push(':');
+}
+
+/// Appends the canonical JSON form of an [`InterferenceProfile`] to `out`.
+///
+/// The named recipes serialize as bare strings (`"typical"`, `"heavy"`,
+/// `"dedicated"`), the parameterised ones as single-key objects
+/// (`{"constant":0.5}`, `{"custom":[base,value_amplitude,regime_scale,
+/// burst_magnitude]}`). All parameters are finite by construction
+/// ([`InterferenceProfile`] builders assert it), so the shortest-round-trip float
+/// rendering of [`push_f64`] is lossless and [`parse_profile`] round-trips bit for
+/// bit. `dg-scenario` embeds profiles in `ScenarioSpec` documents through this pair.
+pub fn push_profile(out: &mut String, profile: &InterferenceProfile) {
+    match profile {
+        InterferenceProfile::Dedicated => out.push_str("\"dedicated\""),
+        InterferenceProfile::Typical => out.push_str("\"typical\""),
+        InterferenceProfile::Heavy => out.push_str("\"heavy\""),
+        InterferenceProfile::Constant(level) => {
+            out.push_str("{\"constant\":");
+            push_f64(out, *level);
+            out.push('}');
+        }
+        InterferenceProfile::Custom {
+            base,
+            value_amplitude,
+            regime_scale,
+            burst_magnitude,
+        } => {
+            out.push_str("{\"custom\":[");
+            for (i, value) in [base, value_amplitude, regime_scale, burst_magnitude]
+                .into_iter()
+                .enumerate()
+            {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_f64(out, *value);
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+/// Parses the canonical JSON form written by [`push_profile`] back into an
+/// [`InterferenceProfile`]. Floats round-trip bit for bit.
+pub fn parse_profile(value: &JsonValue) -> Result<InterferenceProfile, String> {
+    let finite = |value: &JsonValue, what: &str| -> Result<f64, String> {
+        let parsed = value
+            .number_token()
+            .and_then(|t| t.parse::<f64>().ok())
+            .ok_or_else(|| format!("profile {what} is not a number"))?;
+        if !parsed.is_finite() || parsed < 0.0 {
+            return Err(format!("profile {what} must be finite and non-negative"));
+        }
+        Ok(parsed)
+    };
+    match value {
+        JsonValue::Str(name) => match name.as_str() {
+            "dedicated" => Ok(InterferenceProfile::Dedicated),
+            "typical" => Ok(InterferenceProfile::Typical),
+            "heavy" => Ok(InterferenceProfile::Heavy),
+            other => Err(format!("unknown profile name {other:?}")),
+        },
+        JsonValue::Object(_) => {
+            if let Some(level) = value.get("constant") {
+                return Ok(InterferenceProfile::Constant(finite(level, "constant")?));
+            }
+            let parts = value
+                .get("custom")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| {
+                    "profile object needs a \"constant\" or \"custom\" key".to_string()
+                })?;
+            if parts.len() != 4 {
+                return Err("custom profile needs 4 parameters".to_string());
+            }
+            Ok(InterferenceProfile::Custom {
+                base: finite(&parts[0], "base")?,
+                value_amplitude: finite(&parts[1], "value_amplitude")?,
+                regime_scale: finite(&parts[2], "regime_scale")?,
+                burst_magnitude: finite(&parts[3], "burst_magnitude")?,
+            })
+        }
+        other => Err(format!("expected a profile, got {other:?}")),
+    }
+}
+
+/// FNV-1a over a canonical textual encoding: the stable 64-bit fingerprint discipline
+/// shared by `CampaignSpec::fingerprint` and `ScenarioSpec::fingerprint`. Independent
+/// of process, host, and run.
+pub fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// A parsed JSON value. Object keys keep their document order; numbers keep their raw
@@ -448,6 +545,53 @@ mod tests {
             value.get("k").and_then(JsonValue::as_str),
             Some("héllo → 🌍")
         );
+    }
+
+    #[test]
+    fn profiles_round_trip_through_canonical_json() {
+        let awkward = 0.1 + 0.2; // not exactly representable as "0.3"
+        for profile in [
+            InterferenceProfile::Dedicated,
+            InterferenceProfile::Typical,
+            InterferenceProfile::Heavy,
+            InterferenceProfile::Constant(0.5),
+            InterferenceProfile::Constant(awkward),
+            InterferenceProfile::Custom {
+                base: 0.05,
+                value_amplitude: awkward,
+                regime_scale: 1.0,
+                burst_magnitude: 0.9,
+            },
+        ] {
+            let mut out = String::new();
+            push_profile(&mut out, &profile);
+            let parsed = parse_profile(&parse(&out).expect("valid JSON")).expect("valid profile");
+            assert_eq!(parsed, profile, "round trip through {out}");
+            let mut again = String::new();
+            push_profile(&mut again, &parsed);
+            assert_eq!(again, out, "byte-identical re-serialization");
+        }
+    }
+
+    #[test]
+    fn malformed_profiles_are_rejected() {
+        for bad in [
+            "\"mystery\"",
+            "{\"constant\":-1}",
+            "{\"custom\":[1,2,3]}",
+            "{\"other\":1}",
+            "3",
+        ] {
+            let value = parse(bad).expect("syntactically valid JSON");
+            assert!(parse_profile(&value).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_sensitive() {
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("abc"), fnv1a("abc"));
+        assert_ne!(fnv1a("abc"), fnv1a("abd"));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   ([`darwin_core`]).
 //! * [`exec`] — the [`dg_exec::ExecutionBackend`] trait with simulation, record/replay,
 //!   and memoizing backends ([`dg_exec`]).
+//! * [`scenario`] — the composable cloud-scenario engine: declarative event timelines
+//!   (preemptions, diurnal load, regime shifts, fleets) over any backend
+//!   ([`dg_scenario`]).
 //! * [`stats`] — shared statistics helpers ([`dg_stats`]).
 //! * [`campaign`] — the parallel experiment-campaign runner ([`dg_campaign`]).
 //!
@@ -36,6 +39,7 @@ pub use darwin_core as darwin;
 pub use dg_campaign as campaign;
 pub use dg_cloudsim as cloudsim;
 pub use dg_exec as exec;
+pub use dg_scenario as scenario;
 pub use dg_stats as stats;
 pub use dg_tuners as tuners;
 pub use dg_workloads as workloads;
@@ -57,6 +61,7 @@ pub mod prelude {
         BackendProvider, ExecutionBackend, ExecutionTrace, GameRules, MemoBackend, SimBackend,
         TraceRecorder, TraceReplayer,
     };
+    pub use dg_scenario::{ScenarioBackend, ScenarioEvent, ScenarioProvider, ScenarioSpec};
     pub use dg_stats::{coefficient_of_variation, mean, EmpiricalCdf, Summary};
     pub use dg_tuners::{
         ActiveHarmony, Bliss, ExhaustiveSearch, OpenTuner, OracleTuner, RandomSearch, Tuner,

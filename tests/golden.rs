@@ -16,7 +16,8 @@
 
 use darwingame::prelude::*;
 
-/// `(regions, seed, champion, games_played, core_hours)` for the pinned configuration.
+/// `(regions, seed, champion, games_played, core_hours)` for the pinned configuration
+/// under the `Typical` interference profile.
 const GOLDEN: [(usize, u64, u64, usize, f64); 6] = [
     (8, 1, 4185, 40, 162.029215441),
     (8, 2, 8126, 40, 138.819437300),
@@ -26,7 +27,26 @@ const GOLDEN: [(usize, u64, u64, usize, f64); 6] = [
     (16, 3, 193, 65, 247.513955105),
 ];
 
-fn run_pinned(regions: usize, seed: u64) -> TournamentReport {
+/// The same pinned configuration under the `Heavy` profile (environment seeds offset
+/// to `2000 + ...` so the two suites never share a noise realisation). Heavier
+/// interference changes game lengths, early-termination decisions, and therefore the
+/// whole downstream RNG/cost stream — pinning it guards the noise-model half of the
+/// pipeline, which the `Typical`-only suite left uncovered.
+const GOLDEN_HEAVY: [(usize, u64, u64, usize, f64); 6] = [
+    (8, 1, 4185, 42, 203.126625699),
+    (8, 2, 8126, 37, 149.274378843),
+    (8, 3, 4622, 38, 142.451298294),
+    (16, 1, 1454, 71, 379.315587762),
+    (16, 2, 1030, 74, 296.270264841),
+    (16, 3, 6054, 72, 299.799704432),
+];
+
+fn run_pinned_with(
+    profile: InterferenceProfile,
+    env_base: u64,
+    regions: usize,
+    seed: u64,
+) -> TournamentReport {
     let workload = Workload::scaled(Application::Redis, 10_000);
     let mut config = TournamentConfig::scaled(regions, seed);
     config.players_per_game = Some(8);
@@ -34,10 +54,18 @@ fn run_pinned(regions: usize, seed: u64) -> TournamentReport {
     config.parallel_regions = false;
     let mut cloud = CloudEnvironment::new(
         VmType::M5_8xlarge,
-        InterferenceProfile::typical(),
-        1000 + seed * 10 + regions as u64,
+        profile,
+        env_base + seed * 10 + regions as u64,
     );
     DarwinGame::new(config).run(&workload, &mut cloud)
+}
+
+fn run_pinned(regions: usize, seed: u64) -> TournamentReport {
+    run_pinned_with(InterferenceProfile::typical(), 1000, regions, seed)
+}
+
+fn run_pinned_heavy(regions: usize, seed: u64) -> TournamentReport {
+    run_pinned_with(InterferenceProfile::heavy(), 2000, regions, seed)
 }
 
 #[test]
@@ -45,6 +73,27 @@ fn tournament_outputs_match_golden_values() {
     for (regions, seed, champion, games, core_hours) in GOLDEN {
         let report = run_pinned(regions, seed);
         let label = format!("regions {regions}, seed {seed}");
+        assert_eq!(
+            report.champion, champion,
+            "{label}: champion drifted — the RNG stream or game ordering changed"
+        );
+        assert_eq!(
+            report.games_played, games,
+            "{label}: game count drifted — the tournament structure changed"
+        );
+        assert!(
+            (report.core_hours - core_hours).abs() < 1e-6,
+            "{label}: core-hours drifted from {core_hours} to {}",
+            report.core_hours
+        );
+    }
+}
+
+#[test]
+fn heavy_profile_tournament_outputs_match_golden_values() {
+    for (regions, seed, champion, games, core_hours) in GOLDEN_HEAVY {
+        let report = run_pinned_heavy(regions, seed);
+        let label = format!("heavy profile, regions {regions}, seed {seed}");
         assert_eq!(
             report.champion, champion,
             "{label}: champion drifted — the RNG stream or game ordering changed"
