@@ -11,6 +11,7 @@
 //! when it trips depends on scheduling, so a capped run's completed set can vary with
 //! worker count — the report always describes exactly the cells that completed.
 
+use crate::lab::{CampaignLab, LabError, LabOutcome};
 use crate::report::{CampaignReport, CellResult};
 use crate::scale::ExperimentScale;
 use crate::shard::{ShardPlan, ShardReport};
@@ -192,7 +193,7 @@ impl Campaign {
         // cells the cap allowed is already encoded in the recorded subset. A capped
         // run completed fewer cells than scheduled if and only if the cap stopped it,
         // which is exactly the live report's `budget_exhausted` condition.
-        let (completed, _stopped) = self.execute(&replayer, &recorded, workers, None);
+        let (completed, _stopped) = self.execute(&replayer, &recorded, workers, None, None);
         let budget_exhausted = completed.len() < scheduled.len();
         Ok(CampaignReport::from_cells(
             self.spec.name.clone(),
@@ -233,7 +234,7 @@ impl Campaign {
         let cells = self.spec.cells();
         let scheduled = cells.len();
         let (completed, stopped) =
-            self.execute(provider, &cells, workers, self.spec.max_core_hours);
+            self.execute(provider, &cells, workers, self.spec.max_core_hours, None);
         // The cap may trip on the very last scheduled cell; that run is complete, not
         // truncated, so `budget_exhausted` additionally requires unfinished cells.
         let budget_exhausted = stopped && completed.len() < scheduled;
@@ -281,8 +282,13 @@ impl Campaign {
         let all = self.spec.cells();
         let indices = plan.indices(shard);
         let cells: Vec<CellCoord> = indices.iter().map(|i| all[*i].clone()).collect();
-        let (completed, stopped) =
-            self.execute(&SimProvider, &cells, workers, self.spec.max_core_hours);
+        let (completed, stopped) = self.execute(
+            &SimProvider,
+            &cells,
+            workers,
+            self.spec.max_core_hours,
+            None,
+        );
         ShardReport {
             campaign: self.spec.name.clone(),
             fingerprint: plan.fingerprint(),
@@ -297,11 +303,97 @@ impl Campaign {
         }
     }
 
+    /// Runs the campaign incrementally inside `lab` on the simulation provider, one
+    /// worker per CPU, with no session cap. See
+    /// [`run_lab_session`](Self::run_lab_session).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LabError`] when the lab cannot be read or written.
+    pub fn run_lab(&self, lab: &CampaignLab) -> Result<LabOutcome, LabError> {
+        self.run_lab_session(lab, &SimProvider, default_workers(), None)
+    }
+
+    /// Runs one **lab session**: loads the completed cells already in `lab`, executes
+    /// only the missing ones (at most `max_new_cells` of them, all when `None`) with
+    /// backends from `provider`, and flushes each cell to disk the moment it
+    /// completes — a killed session loses only the cells in flight.
+    ///
+    /// Completed cells are *never* re-run: a real-process provider launches zero
+    /// processes for them on resume. When the session leaves the lab complete, the
+    /// returned [`LabOutcome::report`] is the merged [`CampaignReport`], byte-identical
+    /// (in its JSON form) to an uninterrupted single-session run — or to any other
+    /// kill/resume schedule. The spec's `max_core_hours` cap does not apply to lab
+    /// sessions; `max_new_cells` is the session-sizing knob.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LabError`] when the lab cannot be read, a cell fails to flush, or
+    /// the completed cells fail to merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `lab` was opened for a spec with a different
+    /// [`fingerprint`](CampaignSpec::fingerprint).
+    pub fn run_lab_session(
+        &self,
+        lab: &CampaignLab,
+        provider: &dyn BackendProvider,
+        workers: usize,
+        max_new_cells: Option<usize>,
+    ) -> Result<LabOutcome, LabError> {
+        assert_eq!(
+            lab.fingerprint(),
+            self.spec.fingerprint(),
+            "lab was opened for a different campaign spec"
+        );
+        let (on_disk, discarded_cells) = lab.load_cells()?;
+        let all = self.spec.cells();
+        let mut missing: Vec<CellCoord> = all
+            .iter()
+            .filter(|cell| !on_disk.contains_key(&cell.index))
+            .cloned()
+            .collect();
+        if let Some(cap) = max_new_cells {
+            missing.truncate(cap);
+        }
+        let loaded_cells = on_disk.len();
+        let fresh_cells = missing.len();
+        if !missing.is_empty() {
+            // Workers flush from their own threads; only the first flush error is
+            // kept (later ones are almost certainly the same full disk).
+            let flush_error: Mutex<Option<LabError>> = Mutex::new(None);
+            let flush = |result: &CellResult| {
+                if let Err(error) = lab.flush_cell(result) {
+                    let mut slot = flush_error.lock().expect("flush error lock poisoned");
+                    if slot.is_none() {
+                        *slot = Some(error);
+                    }
+                }
+            };
+            let _ = self.execute(provider, &missing, workers, None, Some(&flush));
+            if let Some(error) = flush_error.into_inner().expect("flush error lock poisoned") {
+                return Err(error);
+            }
+        }
+        // Re-read from disk rather than trusting in-memory results: the files are the
+        // source of truth a resumed session will see.
+        let report = lab.merge_if_complete()?;
+        Ok(LabOutcome {
+            report,
+            loaded_cells,
+            fresh_cells,
+            discarded_cells,
+        })
+    }
+
     /// The shared worker pool: runs `cells` (any subset of the grid, in any order)
     /// across `workers` threads and returns the completed results in the same order as
     /// `cells`, plus whether the `max_core_hours` cap tripped. The cap is passed
     /// explicitly because replay disables it (the recorded cell set already embodies
-    /// the live cap decision).
+    /// the live cap decision). `on_cell` is invoked on the worker thread as soon as
+    /// each cell completes — the campaign lab uses it to flush results to disk before
+    /// the run finishes, so an interrupted run loses at most the cells in flight.
     ///
     /// # Panics
     ///
@@ -312,6 +404,7 @@ impl Campaign {
         cells: &[CellCoord],
         workers: usize,
         max_core_hours: Option<f64>,
+        on_cell: Option<&(dyn Fn(&CellResult) + Sync)>,
     ) -> (Vec<CellResult>, bool) {
         assert!(workers > 0, "at least one worker is required");
         let scheduled = cells.len();
@@ -330,6 +423,9 @@ impl Campaign {
                 break;
             }
             let result = run_cell(provider, &self.spec, &self.registry, &cells[i]);
+            if let Some(callback) = on_cell {
+                callback(&result);
+            }
             let hours = result.core_hours;
             *slots[i].lock().expect("cell slot poisoned") = Some(result);
             if let Some(cap) = max_core_hours {
@@ -432,6 +528,9 @@ fn run_cell(
         samples: outcome.samples,
         core_hours: outcome.core_hours,
         wall_clock_seconds: outcome.wall_clock_seconds,
+        // Real-process backends latch the first evaluation error here; simulation
+        // backends always report None.
+        failure: exec.failure(),
     }
 }
 

@@ -25,7 +25,12 @@
 //!   partitions the cell index space, [`Campaign::run_shard`] produces a [`ShardReport`]
 //!   (canonical JSON in both directions), and [`CampaignReport::merge`] reassembles the
 //!   shards into a report byte-identical to a single-host run (see the [`shard`
-//!   module](crate::ShardPlan) docs).
+//!   module](crate::ShardPlan) docs);
+//! * campaigns resume: a [`CampaignLab`] is a persistent directory that flushes every
+//!   completed cell as a single-cell [`ShardReport`] the moment it finishes, so a
+//!   killed run ([`Campaign::run_lab_session`]) resumes by skipping completed cells —
+//!   real-process backends launch zero processes for them — and the final merged
+//!   report is byte-identical to an uninterrupted run.
 //!
 //! # Quick example
 //!
@@ -43,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod executor;
+mod lab;
 mod report;
 mod scale;
 mod shard;
@@ -51,6 +57,7 @@ mod spec;
 pub use dg_exec::{BackendProvider, ExecutionTrace, TraceError};
 pub use dg_scenario::{ScenarioBackend, ScenarioEvent, ScenarioProvider, ScenarioSpec};
 pub use executor::{default_workers, register_darwin_variant, standard_registry, Campaign};
+pub use lab::{CampaignLab, LabError, LabOutcome};
 pub use report::{CampaignReport, CellResult, GroupSummary};
 pub use scale::ExperimentScale;
 pub use shard::{MergeError, ShardParseError, ShardPlan, ShardReport, ShardStrategy};

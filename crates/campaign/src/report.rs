@@ -36,6 +36,12 @@ pub struct CellResult {
     pub core_hours: f64,
     /// Simulated wall-clock seconds of tuning this cell.
     pub wall_clock_seconds: f64,
+    /// The execution backend's permanent failure, if the cell's backend hit one (see
+    /// `ExecutionBackend::failure`) — real-process cells whose command crashed, timed
+    /// out, or skipped its completion marker land here with `f64::INFINITY`-poisoned
+    /// metrics instead of being dropped, so resumed campaigns skip them. `None` cells
+    /// serialize without a `failure` key (pre-ProcessBackend byte compatibility).
+    pub failure: Option<String>,
 }
 
 /// The scenario label of the default pass-through scenario. Cells and groups carrying
@@ -86,6 +92,10 @@ impl CellResult {
         push_f64(out, self.core_hours);
         push_key(out, &mut first, "wall_clock_seconds");
         push_f64(out, self.wall_clock_seconds);
+        if let Some(failure) = &self.failure {
+            push_key(out, &mut first, "failure");
+            push_str_literal(out, failure);
+        }
         out.push('}');
     }
 }
@@ -379,6 +389,7 @@ mod tests {
             samples: 10,
             core_hours: 2.0,
             wall_clock_seconds: 600.0,
+            failure: None,
         }
     }
 

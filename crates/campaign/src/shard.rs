@@ -293,9 +293,9 @@ impl ShardReport {
 
     /// Parses a shard report from its canonical JSON form.
     ///
-    /// The round trip is lossless: `ShardReport::from_json(&r.to_json()) == r` for
-    /// every finite-valued report (non-finite floats serialize to `null` and come back
-    /// as NaN, matching [`CampaignReport::to_json`]'s convention).
+    /// The round trip is lossless, including non-finite floats: infinities and NaN
+    /// serialize to the strings `"inf"`/`"-inf"`/`"nan"` and parse back bit-for-bit
+    /// (the legacy `null` encoding older writers used is still accepted as NaN).
     pub fn from_json(text: &str) -> Result<Self, ShardParseError> {
         let root = json::parse(text).map_err(ShardParseError::new)?;
         let assigned = array_field(&root, "assigned")?
@@ -382,12 +382,12 @@ fn number_field<T: std::str::FromStr>(root: &JsonValue, key: &str) -> Result<T, 
     number_as(field(root, key)?, key)
 }
 
-/// Floats may legitimately be `null` (the writer's encoding of non-finite values).
+/// Floats use the shared lossless encoding of `dg_exec::json`: non-finite values are
+/// the strings `"inf"`/`"-inf"`/`"nan"`, and the legacy `null` (which older writers
+/// emitted for every non-finite value) still parses as NaN.
 fn f64_field(root: &JsonValue, key: &str) -> Result<f64, ShardParseError> {
-    match field(root, key)? {
-        JsonValue::Null => Ok(f64::NAN),
-        value => number_as::<f64>(value, key),
-    }
+    json::parse_f64(field(root, key)?)
+        .map_err(|detail| ShardParseError::new(format!("field {key:?}: {detail}")))
 }
 
 fn parse_cell(value: &JsonValue) -> Result<CellResult, ShardParseError> {
@@ -413,6 +413,17 @@ fn parse_cell(value: &JsonValue) -> Result<CellResult, ShardParseError> {
         samples: number_field(value, "samples")?,
         core_hours: f64_field(value, "core_hours")?,
         wall_clock_seconds: f64_field(value, "wall_clock_seconds")?,
+        // Written only for failed cells; healthy (and pre-ProcessBackend) reports
+        // carry no key.
+        failure: match value.get("failure") {
+            Some(failure) => Some(
+                failure
+                    .as_str()
+                    .ok_or_else(|| ShardParseError::new("field \"failure\" is not a string"))?
+                    .to_string(),
+            ),
+            None => None,
+        },
     })
 }
 
@@ -802,6 +813,7 @@ mod tests {
             samples: 4,
             core_hours: 1.0,
             wall_clock_seconds: 60.0,
+            failure: None,
         }
     }
 
@@ -937,7 +949,7 @@ mod tests {
         let mut report = shard_report(1, 3, vec![1, 3]);
         report.fingerprint = u64::MAX;
         report.cells[0].mean_time = 0.1 + 0.2; // a value whose shortest form matters
-        report.cells[1].cov_percent = f64::NAN; // serializes to null, parses to NaN
+        report.cells[1].cov_percent = f64::NAN; // serializes to "nan", parses to NaN
         let json = report.to_json();
         let parsed = ShardReport::from_json(&json).expect("own output parses");
         assert_eq!(parsed.campaign, report.campaign);
@@ -950,6 +962,33 @@ mod tests {
         assert!(parsed.cells[1].cov_percent.is_nan());
         // Re-serializing the parsed report reproduces the exact bytes.
         assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn non_finite_shard_floats_round_trip_bit_for_bit() {
+        let mut report = shard_report(0, 2, vec![0, 2]);
+        report.cells[0].mean_time = f64::INFINITY; // a failed cell's sentinel
+        report.cells[0].wall_clock_seconds = f64::NEG_INFINITY;
+        report.cells[0].cov_percent = f64::NAN;
+        report.cells[0].failure = Some("process exited with status 7".to_string());
+        let json = report.to_json();
+        assert!(json.contains("\"mean_time\":\"inf\""));
+        assert!(json.contains("\"wall_clock_seconds\":\"-inf\""));
+        assert!(json.contains("\"cov_percent\":\"nan\""));
+        assert!(json.contains("\"failure\":\"process exited with status 7\""));
+        let parsed = ShardReport::from_json(&json).expect("own output parses");
+        assert_eq!(parsed.cells[0].mean_time.to_bits(), f64::INFINITY.to_bits());
+        assert_eq!(
+            parsed.cells[0].wall_clock_seconds.to_bits(),
+            f64::NEG_INFINITY.to_bits()
+        );
+        assert!(parsed.cells[0].cov_percent.is_nan());
+        assert_eq!(parsed.cells[0].failure, report.cells[0].failure);
+        assert_eq!(parsed.to_json(), json);
+        // The legacy encoding (a bare `null`) still parses as NaN.
+        let legacy = json.replace("\"cov_percent\":\"nan\"", "\"cov_percent\":null");
+        let parsed = ShardReport::from_json(&legacy).expect("legacy null parses");
+        assert!(parsed.cells[0].cov_percent.is_nan());
     }
 
     #[test]

@@ -164,6 +164,16 @@ pub trait ExecutionBackend: Send {
     /// regional phase forks one sub-environment per region, the way the paper runs
     /// regions on separate VMs.
     fn fork(&mut self, seed: u64) -> Box<dyn ExecutionBackend>;
+
+    /// A permanent failure this backend has hit, if any — e.g. a real-process backend
+    /// whose command crashed, timed out, or never wrote its completion marker
+    /// ([`ProcessBackend`](crate::ProcessBackend)). Once set, evaluations return
+    /// `f64::INFINITY` sentinels instead of launching more work, and campaign
+    /// executors persist the message in the cell result so a failed cell is recorded
+    /// as failed rather than silently dropped. Simulation backends never fail.
+    fn failure(&self) -> Option<String> {
+        None
+    }
 }
 
 /// A factory of [`ExecutionBackend`]s, one per independent execution stream.

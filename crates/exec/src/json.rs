@@ -34,15 +34,43 @@ pub fn push_str_literal(out: &mut String, value: &str) {
     out.push('"');
 }
 
-/// Appends a JSON number for `value`; non-finite values become `null` (JSON has no
-/// representation for them).
+/// Appends a JSON number for `value`. JSON has no representation for non-finite
+/// floats, so they are encoded as the strings `"inf"`, `"-inf"`, and `"nan"` — the
+/// same encoding execution traces use — and [`parse_f64`] restores them losslessly.
+/// (Reports used to write `null` here, which collapsed `±inf` to NaN on the way
+/// back in.)
 pub fn push_f64(out: &mut String, value: f64) {
     if value.is_finite() {
         // Rust's f64 Display is the shortest decimal string that round-trips, never in
         // scientific notation — both JSON-valid and deterministic.
         let _ = write!(out, "{value}");
+    } else if value.is_nan() {
+        out.push_str("\"nan\"");
+    } else if value > 0.0 {
+        out.push_str("\"inf\"");
     } else {
-        out.push_str("null");
+        out.push_str("\"-inf\"");
+    }
+}
+
+/// Parses a float written by [`push_f64`], bit-for-bit for finite values and exactly
+/// for the non-finite encodings `"inf"` / `"-inf"` / `"nan"`. A bare `null` is
+/// accepted as NaN for backward compatibility with reports written before the
+/// non-finite encoding was unified (those had already collapsed `±inf` to `null`,
+/// so NaN is the most faithful reading available).
+pub fn parse_f64(value: &JsonValue) -> Result<f64, String> {
+    match value {
+        JsonValue::Number(token) => token
+            .parse::<f64>()
+            .map_err(|_| format!("invalid float token {token:?}")),
+        JsonValue::Str(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            other => Err(format!("unknown non-finite float encoding {other:?}")),
+        },
+        JsonValue::Null => Ok(f64::NAN),
+        other => Err(format!("expected a float, got {other:?}")),
     }
 }
 
@@ -475,7 +503,23 @@ mod tests {
         push_f64(&mut out, f64::NAN);
         out.push(' ');
         push_f64(&mut out, f64::INFINITY);
-        assert_eq!(out, "245.3 null null");
+        out.push(' ');
+        push_f64(&mut out, f64::NEG_INFINITY);
+        assert_eq!(out, "245.3 \"nan\" \"inf\" \"-inf\"");
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_exactly() {
+        for value in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let mut out = String::new();
+            push_f64(&mut out, value);
+            let parsed = parse_f64(&parse(&out).expect("valid JSON")).expect("valid float");
+            assert_eq!(parsed.to_bits(), value.to_bits(), "through {out}");
+        }
+        // Legacy reports wrote null for every non-finite value; it still reads as NaN.
+        assert!(parse_f64(&JsonValue::Null).unwrap().is_nan());
+        assert!(parse_f64(&JsonValue::Str("infinity".into())).is_err());
+        assert!(parse_f64(&JsonValue::Bool(true)).is_err());
     }
 
     #[test]

@@ -5,14 +5,18 @@
 //! `dg-campaign` cell executor — asks its environment for the same handful of
 //! operations: play a co-located game, evaluate one configuration solo, observe without
 //! charging, charge cost, fork per-region sub-environments. This crate captures that
-//! surface as the [`ExecutionBackend`] trait and ships three implementations:
+//! surface as the [`ExecutionBackend`] trait and ships four implementations:
 //!
 //! * [`SimBackend`] — wraps `dg_cloudsim::CloudEnvironment` and resimulates everything
 //!   (the default; `CloudEnvironment` itself also implements the trait, so existing
 //!   code keeps passing environments directly);
+//! * [`ProcessBackend`] — runs actual OS processes as evaluations: command templates
+//!   rendered per configuration, per-job stdout/stderr capture, `SUCCESS`/`FAIL`
+//!   completion markers, timeouts, and typed [`ProcessError`]s latched into the
+//!   backend's [`failure`](ExecutionBackend::failure) instead of panics;
 //! * [`TraceRecorder`] / [`TraceReplayer`] — record every outcome into an
 //!   [`ExecutionTrace`] (canonical JSON), then replay a whole campaign byte-identical
-//!   to the live run with **zero** resimulation;
+//!   to the live run with **zero** resimulation (and zero process launches);
 //! * [`MemoBackend`] — a composable wrapper memoizing solo evaluations and
 //!   observations for exhaustive/oracle/grid-heavy paths.
 //!
@@ -41,11 +45,15 @@
 mod backend;
 pub mod json;
 mod memo;
+mod process;
 mod sim;
 mod trace;
 
 pub use backend::{BackendProvider, ExecutionBackend, GamePlay, GameRules};
 pub use memo::MemoBackend;
+pub use process::{
+    process_launches, CommandTemplate, ProcessBackend, ProcessError, ProcessProvider, TimingSource,
+};
 pub use sim::{sim_ops, SimBackend, SimProvider};
 pub use trace::{
     profile_label, ExecutionTrace, RecordingBackend, ReplayBackend, TraceError, TraceEvent,

@@ -146,6 +146,10 @@ impl ExecutionBackend for MemoBackend {
     fn fork(&mut self, seed: u64) -> Box<dyn ExecutionBackend> {
         Box::new(MemoBackend::new(self.inner.fork(seed)))
     }
+
+    fn failure(&self) -> Option<String> {
+        self.inner.failure()
+    }
 }
 
 #[cfg(test)]

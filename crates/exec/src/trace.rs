@@ -128,6 +128,10 @@ pub struct TraceStream {
     pub profile: String,
     /// Root seed of the stream's backend.
     pub seed: u64,
+    /// The permanent failure the stream's backend reported at the end of recording
+    /// ([`ExecutionBackend::failure`]), if any. Replayed backends report it back, so
+    /// failed real-process cells replay exactly as they ran.
+    pub failure: Option<String>,
     /// The recorded operations, in execution order.
     pub events: Vec<TraceEvent>,
 }
@@ -224,6 +228,10 @@ impl TraceStream {
         push_str_literal(out, &self.profile);
         push_key(out, &mut first, "seed");
         let _ = write!(out, "{}", self.seed);
+        if let Some(failure) = &self.failure {
+            push_key(out, &mut first, "failure");
+            push_str_literal(out, failure);
+        }
         push_key(out, &mut first, "events");
         out.push('[');
         for (i, event) in self.events.iter().enumerate() {
@@ -240,11 +248,20 @@ impl TraceStream {
         for event in get_array(value, "events")? {
             events.push(TraceEvent::from_value(event)?);
         }
+        let failure = match value.get("failure") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| TraceError::Parse("failure is not a string".into()))?,
+            ),
+        };
         Ok(Self {
             key: get_str(value, "key")?,
             vm: get_str(value, "vm")?,
             profile: get_str(value, "profile")?,
             seed: get_u64(value, "seed")?,
+            failure,
             events,
         })
     }
@@ -483,6 +500,7 @@ fn register_stream(
             vm: vm.name().to_string(),
             profile: profile_label(profile),
             seed,
+            failure: None,
             events: Vec::new(),
         },
     );
@@ -540,6 +558,7 @@ impl Drop for RecordingBackend {
             // the events have nowhere to go (never panic in a destructor).
             if let Some(stream) = streams.get_mut(&self.key) {
                 stream.events = std::mem::take(&mut self.events);
+                stream.failure = self.inner.failure();
             }
         }
     }
@@ -618,6 +637,10 @@ impl ExecutionBackend for RecordingBackend {
             events: Vec::new(),
             forks: 0,
         })
+    }
+
+    fn failure(&self) -> Option<String> {
+        self.inner.failure()
     }
 }
 
@@ -907,40 +930,23 @@ impl ExecutionBackend for ReplayBackend {
             seed,
         ))
     }
+
+    fn failure(&self) -> Option<String> {
+        self.trace.streams[self.stream].failure.clone()
+    }
 }
 
 // ---------- JSON helpers ----------
 
-/// Writes an f64 for the trace format: finite values via the canonical shortest
-/// round-trip rendering, non-finite values as the strings `"inf"`/`"-inf"`/`"nan"`
-/// (plain JSON has no representation for them, and traces must be lossless).
+/// Writes an f64 for the trace format. This is [`json::push_f64`] — the non-finite
+/// string encoding (`"inf"`/`"-inf"`/`"nan"`) started here and is now the shared
+/// wire discipline for every format in the workspace.
 fn push_trace_f64(out: &mut String, value: f64) {
-    if value.is_finite() {
-        push_f64(out, value);
-    } else if value.is_nan() {
-        out.push_str("\"nan\"");
-    } else if value > 0.0 {
-        out.push_str("\"inf\"");
-    } else {
-        out.push_str("\"-inf\"");
-    }
+    push_f64(out, value);
 }
 
 fn parse_trace_f64(value: &JsonValue) -> Result<f64, TraceError> {
-    match value {
-        JsonValue::Number(token) => token
-            .parse::<f64>()
-            .map_err(|_| TraceError::Parse(format!("invalid float token {token:?}"))),
-        JsonValue::Str(s) => match s.as_str() {
-            "inf" => Ok(f64::INFINITY),
-            "-inf" => Ok(f64::NEG_INFINITY),
-            "nan" => Ok(f64::NAN),
-            other => Err(TraceError::Parse(format!("invalid float string {other:?}"))),
-        },
-        other => Err(TraceError::Parse(format!(
-            "expected a float, got {other:?}"
-        ))),
-    }
+    json::parse_f64(value).map_err(TraceError::Parse)
 }
 
 fn push_spec(out: &mut String, spec: &ExecutionSpec) {

@@ -1,0 +1,293 @@
+//! The ProcessBackend `/bin/sh` battery: real processes behind the backend trait.
+//!
+//! Every test drives an actual shell through [`ProcessBackend`], covering the marker
+//! contract (`SUCCESS`/`FAIL` in `$DG_JOB_DIR/status`), both timing modes, each
+//! failure mode's typed [`ProcessError`], the short-circuit discipline (a failed
+//! backend launches nothing further), and record/replay composition (a replayed
+//! real-process session launches **zero** processes).
+//!
+//! The tests serialize themselves on a shared mutex: [`process_launches`] is a
+//! process-wide counter, so launch-delta assertions must not interleave.
+
+use dg_cloudsim::{ExecutionSpec, InterferenceProfile, VmType};
+use dg_exec::{
+    process_launches, BackendProvider, CommandTemplate, ExecutionBackend, GameRules,
+    ProcessBackend, ProcessError, ProcessProvider, TimingSource, TraceRecorder, TraceReplayer,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Serializes the whole battery: `process_launches()` is global to the test process.
+fn launch_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A fresh working directory per test.
+fn work_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dg-process-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A backend running `script` under `/bin/sh -c`.
+fn sh_backend(script: &str, dir: &Path) -> ProcessBackend {
+    let template = CommandTemplate::new("/bin/sh", ["-c", script]);
+    ProcessBackend::new(
+        template,
+        dir.to_path_buf(),
+        VmType::M5_8xlarge,
+        InterferenceProfile::typical(),
+        42,
+    )
+}
+
+/// A workload that reports its configured base time deterministically and succeeds.
+const REPORTING_OK: &str = r#"echo "DG_TIME=$DG_BASE_TIME"; printf SUCCESS > "$DG_JOB_DIR/status""#;
+
+#[test]
+fn reported_timing_observes_the_workloads_own_clock() {
+    let _guard = launch_lock();
+    let dir = work_dir("reported-ok");
+    let mut exec = sh_backend(REPORTING_OK, &dir).with_timing(TimingSource::Reported);
+    let before = process_launches();
+    let run = exec.run_single(ExecutionSpec::new(245.3, 0.8));
+    assert_eq!(run.observed_time, 245.3);
+    assert_eq!(run.elapsed, 245.3);
+    assert_eq!(exec.clock().as_seconds(), 245.3);
+    assert!(exec.cost().core_hours() > 0.0);
+    assert_eq!(exec.failure(), None);
+    assert_eq!(process_launches() - before, 1);
+    // The job tree is browsable: stdout was captured, the marker is in place.
+    let stdout = fs::read_to_string(dir.join("job-0/stdout.log")).expect("stdout captured");
+    assert!(stdout.contains("DG_TIME=245.3"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wall_clock_timing_measures_real_elapsed_time() {
+    let _guard = launch_lock();
+    let dir = work_dir("wall-clock");
+    let mut exec = sh_backend(r#"printf SUCCESS > "$DG_JOB_DIR/status""#, &dir);
+    let run = exec.run_single(ExecutionSpec::new(100.0, 0.5));
+    assert!(run.observed_time.is_finite() && run.observed_time >= 0.0);
+    assert_eq!(exec.failure(), None);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn nonzero_exit_latches_a_typed_error() {
+    let _guard = launch_lock();
+    let dir = work_dir("nonzero");
+    let mut exec = sh_backend("exit 7", &dir);
+    let run = exec.run_single(ExecutionSpec::new(100.0, 0.5));
+    assert_eq!(run.observed_time, f64::INFINITY);
+    assert_eq!(run.elapsed, 0.0); // failures charge nothing
+    assert!(matches!(
+        exec.last_error(),
+        Some(ProcessError::NonZeroExit { .. })
+    ));
+    assert!(exec.failure().expect("failure set").contains("exited"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fail_marker_latches_marker_fail() {
+    let _guard = launch_lock();
+    let dir = work_dir("fail-marker");
+    let mut exec = sh_backend(r#"printf FAIL > "$DG_JOB_DIR/status""#, &dir);
+    let run = exec.run_single(ExecutionSpec::new(100.0, 0.5));
+    assert_eq!(run.observed_time, f64::INFINITY);
+    assert!(matches!(
+        exec.last_error(),
+        Some(ProcessError::MarkerFail { .. })
+    ));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_marker_latches_marker_missing() {
+    let _guard = launch_lock();
+    let dir = work_dir("missing-marker");
+    // Exits successfully but never writes the completion marker.
+    let mut exec = sh_backend("true", &dir);
+    let run = exec.run_single(ExecutionSpec::new(100.0, 0.5));
+    assert_eq!(run.observed_time, f64::INFINITY);
+    assert!(matches!(
+        exec.last_error(),
+        Some(ProcessError::MarkerMissing { .. })
+    ));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hung_processes_are_killed_at_the_timeout() {
+    let _guard = launch_lock();
+    let dir = work_dir("timeout");
+    let mut exec = sh_backend("sleep 30", &dir).with_timeout(Duration::from_millis(300));
+    let run = exec.run_single(ExecutionSpec::new(100.0, 0.5));
+    assert_eq!(run.observed_time, f64::INFINITY);
+    assert!(matches!(
+        exec.last_error(),
+        Some(ProcessError::Timeout { .. })
+    ));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_binary_latches_a_spawn_error() {
+    let _guard = launch_lock();
+    let dir = work_dir("spawn");
+    let template = CommandTemplate::new("/no/such/binary", ["x"]);
+    let mut exec = ProcessBackend::new(
+        template,
+        dir.clone(),
+        VmType::M5_8xlarge,
+        InterferenceProfile::typical(),
+        1,
+    );
+    let run = exec.run_single(ExecutionSpec::new(100.0, 0.5));
+    assert_eq!(run.observed_time, f64::INFINITY);
+    assert!(matches!(
+        exec.last_error(),
+        Some(ProcessError::Spawn { .. })
+    ));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_failed_backend_short_circuits_and_launches_nothing_further() {
+    let _guard = launch_lock();
+    let dir = work_dir("short-circuit");
+    let mut exec = sh_backend("exit 1", &dir);
+    let _ = exec.run_single(ExecutionSpec::new(100.0, 0.5));
+    let first_error = exec.last_error().expect("first run fails");
+    let before = process_launches();
+    for salt in 0..5 {
+        let observed = exec.observe_single_at(
+            ExecutionSpec::new(100.0, 0.5),
+            dg_cloudsim::SimTime::ZERO,
+            salt,
+        );
+        assert_eq!(observed, f64::INFINITY);
+    }
+    assert_eq!(process_launches(), before, "short-circuit must not launch");
+    // The latch keeps the *first* error.
+    assert_eq!(exec.last_error(), Some(first_error.clone()));
+    // Forks share the latch: they are born failed and launch nothing either.
+    let mut fork = exec.fork(9);
+    let run = fork.run_single(ExecutionSpec::new(100.0, 0.5));
+    assert_eq!(run.observed_time, f64::INFINITY);
+    assert_eq!(process_launches(), before);
+    assert_eq!(exec.last_error(), Some(first_error));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn games_co_locate_players_and_score_relative_speed() {
+    let _guard = launch_lock();
+    let dir = work_dir("game");
+    let mut exec = sh_backend(REPORTING_OK, &dir).with_timing(TimingSource::Reported);
+    let fast = ExecutionSpec::new(100.0, 0.5);
+    let slow = ExecutionSpec::new(400.0, 0.5);
+    let before = process_launches();
+    let play = exec.play_game(&[fast, slow], &GameRules::default());
+    assert_eq!(process_launches() - before, 2);
+    assert_eq!(play.observed_times, vec![100.0, 400.0]);
+    assert_eq!(play.execution_scores, vec![1.0, 0.25]);
+    assert_eq!(play.elapsed, 400.0); // the co-located game lasts as long as its slowest player
+    assert!(!play.early_terminated);
+    exec.commit(&play);
+    assert_eq!(exec.clock().as_seconds(), 400.0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recorded_process_sessions_replay_bit_for_bit_with_zero_launches() {
+    let _guard = launch_lock();
+    let dir = work_dir("record-replay");
+    let template = CommandTemplate::new("/bin/sh", ["-c", REPORTING_OK]);
+    let provider = ProcessProvider::new(template, dir.clone()).with_timing(TimingSource::Reported);
+    let recorder = TraceRecorder::new(Box::new(provider), "proc-rr", 0xfeed);
+    let specs = [
+        ExecutionSpec::new(245.3, 0.8),
+        ExecutionSpec::new(100.0, 0.2),
+        ExecutionSpec::new(512.5, 0.5),
+    ];
+    let live: Vec<_> = {
+        let mut exec = recorder.backend(
+            "cell-0",
+            VmType::M5_8xlarge,
+            &InterferenceProfile::typical(),
+            7,
+        );
+        specs.iter().map(|s| exec.run_single(*s)).collect()
+    };
+    let trace = recorder.finish();
+
+    let replayer = TraceReplayer::new(trace);
+    let before = process_launches();
+    let mut exec = replayer.backend(
+        "cell-0",
+        VmType::M5_8xlarge,
+        &InterferenceProfile::typical(),
+        7,
+    );
+    for (spec, recorded) in specs.iter().zip(&live) {
+        let replayed = exec.run_single(*spec);
+        assert_eq!(
+            replayed.observed_time.to_bits(),
+            recorded.observed_time.to_bits()
+        );
+        assert_eq!(replayed.elapsed.to_bits(), recorded.elapsed.to_bits());
+    }
+    assert_eq!(exec.failure(), None);
+    assert_eq!(process_launches(), before, "replay must launch nothing");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recorded_failures_survive_the_round_trip_into_replay() {
+    let _guard = launch_lock();
+    let dir = work_dir("record-failure");
+    let template = CommandTemplate::new("/bin/sh", ["-c", "exit 3"]);
+    let provider = ProcessProvider::new(template, dir.clone());
+    let recorder = TraceRecorder::new(Box::new(provider), "proc-fail", 0xfeed);
+    let failure = {
+        let mut exec = recorder.backend(
+            "cell-0",
+            VmType::M5_8xlarge,
+            &InterferenceProfile::typical(),
+            7,
+        );
+        let run = exec.run_single(ExecutionSpec::new(100.0, 0.5));
+        assert_eq!(run.observed_time, f64::INFINITY);
+        exec.failure().expect("live failure latched")
+    };
+    // The trace round-trips through its JSON wire format, failure included.
+    let trace = recorder.finish();
+    let text = trace.to_json();
+    let trace = dg_exec::ExecutionTrace::from_json(&text).expect("trace parses");
+    assert_eq!(
+        trace.to_json(),
+        text,
+        "trace re-serializes byte-identically"
+    );
+
+    let replayer = TraceReplayer::new(trace);
+    let before = process_launches();
+    let mut exec = replayer.backend(
+        "cell-0",
+        VmType::M5_8xlarge,
+        &InterferenceProfile::typical(),
+        7,
+    );
+    let run = exec.run_single(ExecutionSpec::new(100.0, 0.5));
+    assert_eq!(run.observed_time, f64::INFINITY);
+    assert_eq!(run.elapsed, 0.0);
+    assert_eq!(exec.failure(), Some(failure));
+    assert_eq!(process_launches(), before);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -273,6 +273,10 @@ impl ExecutionBackend for ScenarioBackend {
             self.base_vm,
         ))
     }
+
+    fn failure(&self) -> Option<String> {
+        self.inner.failure()
+    }
 }
 
 /// A [`BackendProvider`] that applies one scenario to every stream of an inner

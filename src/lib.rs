@@ -50,16 +50,18 @@ pub mod prelude {
         AblationConfig, DarwinGame, HybridDarwinGame, TournamentConfig, TournamentReport,
     };
     pub use dg_campaign::{
-        register_darwin_variant, standard_registry, Campaign, CampaignReport, CampaignSpec,
-        ExperimentScale, MergeError, ShardPlan, ShardReport, ShardStrategy,
+        default_workers, register_darwin_variant, standard_registry, Campaign, CampaignLab,
+        CampaignReport, CampaignSpec, ExperimentScale, LabError, LabOutcome, MergeError, ShardPlan,
+        ShardReport, ShardStrategy,
     };
     pub use dg_cloudsim::{
         CloudEnvironment, DedicatedEnvironment, ExecutionSpec, InterferenceProfile, SimRng,
         SimTime, VmType,
     };
     pub use dg_exec::{
-        BackendProvider, ExecutionBackend, ExecutionTrace, GameRules, MemoBackend, SimBackend,
-        TraceRecorder, TraceReplayer,
+        process_launches, BackendProvider, CommandTemplate, ExecutionBackend, ExecutionTrace,
+        GameRules, MemoBackend, ProcessBackend, ProcessError, ProcessProvider, SimBackend,
+        TimingSource, TraceRecorder, TraceReplayer,
     };
     pub use dg_scenario::{ScenarioBackend, ScenarioEvent, ScenarioProvider, ScenarioSpec};
     pub use dg_stats::{coefficient_of_variation, mean, EmpiricalCdf, Summary};
