@@ -351,6 +351,7 @@ mod tests {
             samples: 40,
             core_hours: 1.25,
             wall_clock_seconds: 300.0,
+            model_evals: 0,
             failure: None,
         }
     }

@@ -54,11 +54,11 @@ mod scale;
 mod shard;
 mod spec;
 
-pub use dg_exec::{BackendProvider, ExecutionTrace, TraceError};
+pub use dg_exec::{BackendProvider, ExecutionTrace, SurrogateConfig, TraceError};
 pub use dg_scenario::{ScenarioBackend, ScenarioEvent, ScenarioProvider, ScenarioSpec};
 pub use executor::{default_workers, register_darwin_variant, standard_registry, Campaign};
 pub use lab::{CampaignLab, LabError, LabOutcome};
 pub use report::{CampaignReport, CellResult, GroupSummary};
 pub use scale::ExperimentScale;
-pub use shard::{MergeError, ShardParseError, ShardPlan, ShardReport, ShardStrategy};
+pub use shard::{MergeError, PlanError, ShardParseError, ShardPlan, ShardReport, ShardStrategy};
 pub use spec::{profile_label, CampaignSpec, CellCoord};

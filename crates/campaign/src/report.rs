@@ -36,6 +36,12 @@ pub struct CellResult {
     pub core_hours: f64,
     /// Simulated wall-clock seconds of tuning this cell.
     pub wall_clock_seconds: f64,
+    /// Evaluations answered by the cell's surrogate model (see
+    /// `dg_exec::SurrogateBackend`) instead of the real backend: cost-free model
+    /// serves of solo evaluations plus observations. `0` for cells run without an
+    /// active surrogate, which serialize without a `model_evals` key — pre-surrogate
+    /// reports stay byte-identical.
+    pub model_evals: u64,
     /// The execution backend's permanent failure, if the cell's backend hit one (see
     /// `ExecutionBackend::failure`) — real-process cells whose command crashed, timed
     /// out, or skipped its completion marker land here with `f64::INFINITY`-poisoned
@@ -92,6 +98,10 @@ impl CellResult {
         push_f64(out, self.core_hours);
         push_key(out, &mut first, "wall_clock_seconds");
         push_f64(out, self.wall_clock_seconds);
+        if self.model_evals > 0 {
+            push_key(out, &mut first, "model_evals");
+            let _ = std::fmt::Write::write_fmt(out, format_args!("{}", self.model_evals));
+        }
         if let Some(failure) = &self.failure {
             push_key(out, &mut first, "failure");
             push_str_literal(out, failure);
@@ -389,6 +399,7 @@ mod tests {
             samples: 10,
             core_hours: 2.0,
             wall_clock_seconds: 600.0,
+            model_evals: 0,
             failure: None,
         }
     }
@@ -479,6 +490,26 @@ mod tests {
         assert!(
             !json.contains("\"scenario\":\"steady\""),
             "steady cells serialize without a scenario key (pre-axis byte compatibility)"
+        );
+    }
+
+    #[test]
+    fn model_evals_serialize_only_when_present() {
+        let plain = cell(0, "Random", 0, 100.0);
+        let mut out = String::new();
+        plain.to_json(&mut out);
+        assert!(
+            !out.contains("model_evals"),
+            "surrogate-less cells must keep the pre-surrogate schema: {out}"
+        );
+
+        let mut served = cell(1, "NTBEA", 0, 90.0);
+        served.model_evals = 17;
+        let mut out = String::new();
+        served.to_json(&mut out);
+        assert!(
+            out.contains("\"wall_clock_seconds\":600,\"model_evals\":17}"),
+            "model_evals sits after wall_clock_seconds: {out}"
         );
     }
 

@@ -89,11 +89,12 @@ pub struct ShardPlan {
     grid_cells: usize,
     scheduled_cells: usize,
     assignments: Vec<Vec<usize>>,
-    costs: Vec<u64>,
+    costs: Vec<f64>,
 }
 
 impl ShardPlan {
-    /// Builds the plan for `spec` split into `shards` parts under `strategy`.
+    /// Builds the plan for `spec` split into `shards` parts under `strategy`, costing
+    /// cells by their tuner evaluation budgets ([`CampaignSpec::budget_for`]).
     ///
     /// # Panics
     ///
@@ -101,13 +102,65 @@ impl ShardPlan {
     pub fn new(spec: &CampaignSpec, shards: usize, strategy: ShardStrategy) -> Self {
         assert!(shards > 0, "a shard plan needs at least one shard");
         spec.validate();
-        let cells = spec.cells();
-        let scheduled = cells.len();
-        let cell_costs: Vec<u64> = cells
+        let cell_costs: Vec<f64> = spec
+            .cells()
             .iter()
-            .map(|cell| spec.budget_for(&cell.tuner) as u64)
+            .map(|cell| spec.budget_for(&cell.tuner) as f64)
             .collect();
+        // Budgets are small integers, exact in f64, so this shares the float builder
+        // with `with_cell_costs` without any change in the produced plans.
+        Self::build(spec, shards, strategy, &cell_costs)
+    }
 
+    /// Builds the plan for `spec` using caller-supplied per-cell cost estimates (for
+    /// example measured core-hours from a previous run) instead of the tuner budgets.
+    ///
+    /// Unlike the budget-derived costs of [`new`](Self::new), external estimates can
+    /// be poisoned — a failed cell's core-hours may be `NaN` or `inf`, and a NaN fed
+    /// into the LPT comparisons would silently scramble the assignment. Every cost is
+    /// therefore validated up front and the poisoned index reported as a typed
+    /// [`PlanError`] instead of producing a corrupt plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or the spec is invalid (the same contract as `new`);
+    /// bad *costs* are an `Err`, not a panic, because they typically come from data
+    /// files rather than code.
+    pub fn with_cell_costs(
+        spec: &CampaignSpec,
+        shards: usize,
+        strategy: ShardStrategy,
+        cell_costs: &[f64],
+    ) -> Result<Self, PlanError> {
+        assert!(shards > 0, "a shard plan needs at least one shard");
+        spec.validate();
+        let scheduled = spec.cells().len();
+        if cell_costs.len() != scheduled {
+            return Err(PlanError::CostCountMismatch {
+                cells: scheduled,
+                costs: cell_costs.len(),
+            });
+        }
+        for (index, &cost) in cell_costs.iter().enumerate() {
+            if !cost.is_finite() {
+                return Err(PlanError::NonFiniteCost { index, cost });
+            }
+            if cost < 0.0 {
+                return Err(PlanError::NegativeCost { index, cost });
+            }
+        }
+        Ok(Self::build(spec, shards, strategy, cell_costs))
+    }
+
+    /// Shared builder; callers have already validated `shards`, the spec, and (for
+    /// external costs) finiteness, so `cell_costs` is known finite and non-negative.
+    fn build(
+        spec: &CampaignSpec,
+        shards: usize,
+        strategy: ShardStrategy,
+        cell_costs: &[f64],
+    ) -> Self {
+        let scheduled = cell_costs.len();
         let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); shards];
         match strategy {
             ShardStrategy::Contiguous => {
@@ -130,13 +183,16 @@ impl ShardPlan {
             ShardStrategy::CostBalanced => {
                 // Greedy LPT: most expensive cells first, each onto the currently
                 // cheapest shard; ties break on the lower index/shard id so the plan
-                // is deterministic.
+                // is deterministic. `total_cmp` keeps the ordering total — the costs
+                // are pre-validated finite, but a total order costs nothing and makes
+                // the comparator immune to sort-order undefined behavior by
+                // construction.
                 let mut order: Vec<usize> = (0..scheduled).collect();
-                order.sort_by_key(|i| (std::cmp::Reverse(cell_costs[*i]), *i));
-                let mut loads = vec![0u64; shards];
+                order.sort_by(|a, b| cell_costs[*b].total_cmp(&cell_costs[*a]).then(a.cmp(b)));
+                let mut loads = vec![0.0f64; shards];
                 for index in order {
                     let target = (0..shards)
-                        .min_by_key(|s| (loads[*s], *s))
+                        .min_by(|a, b| loads[*a].total_cmp(&loads[*b]).then(a.cmp(b)))
                         .expect("shards > 0");
                     loads[target] += cell_costs[index];
                     assignments[target].push(index);
@@ -200,16 +256,79 @@ impl ShardPlan {
         &self.assignments[shard]
     }
 
-    /// Estimated cost of `shard` (summed per-cell tuner evaluation budgets).
+    /// Estimated cost of `shard`, rounded to the nearest whole unit: summed tuner
+    /// evaluation budgets for [`new`](Self::new) plans (always exact — budgets are
+    /// integers), summed caller estimates for [`with_cell_costs`](Self::with_cell_costs)
+    /// plans. Use [`estimated_cost_exact`](Self::estimated_cost_exact) when the
+    /// fractional part matters.
     ///
     /// # Panics
     ///
     /// Panics if `shard >= shard_count()`.
     pub fn estimated_cost(&self, shard: usize) -> u64 {
+        self.estimated_cost_exact(shard).round() as u64
+    }
+
+    /// Estimated cost of `shard` as the exact sum of its per-cell costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn estimated_cost_exact(&self, shard: usize) -> f64 {
         assert!(shard < self.costs.len(), "shard {shard} out of range");
         self.costs[shard]
     }
 }
+
+/// Why caller-supplied per-cell costs cannot drive a [`ShardPlan`].
+///
+/// External cost estimates (measured core-hours, persisted bench data) can carry the
+/// `inf`/`NaN` sentinels this workspace uses for failed cells; letting one reach the
+/// LPT comparisons would scramble the assignment without any error. Each variant names
+/// the offending index so the caller can repair or drop the estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The cost slice does not have one entry per scheduled cell.
+    CostCountMismatch {
+        /// Scheduled cells in the spec (after any `max_cells` cap).
+        cells: usize,
+        /// Entries in the supplied cost slice.
+        costs: usize,
+    },
+    /// A cost is `NaN` or infinite (typically a failed cell's sentinel).
+    NonFiniteCost {
+        /// Index of the poisoned cell cost.
+        index: usize,
+        /// The offending value.
+        cost: f64,
+    },
+    /// A cost is negative, which has no meaning for a load estimate.
+    NegativeCost {
+        /// Index of the negative cell cost.
+        index: usize,
+        /// The offending value.
+        cost: f64,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::CostCountMismatch { cells, costs } => write!(
+                f,
+                "cost count mismatch: {cells} scheduled cells but {costs} cost estimates"
+            ),
+            PlanError::NonFiniteCost { index, cost } => {
+                write!(f, "cell {index} has a non-finite cost estimate ({cost})")
+            }
+            PlanError::NegativeCost { index, cost } => {
+                write!(f, "cell {index} has a negative cost estimate ({cost})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// The result of running one shard of a campaign: the completed cells plus everything
 /// the merge needs to validate compatibility and coverage.
@@ -413,6 +532,12 @@ fn parse_cell(value: &JsonValue) -> Result<CellResult, ShardParseError> {
         samples: number_field(value, "samples")?,
         core_hours: f64_field(value, "core_hours")?,
         wall_clock_seconds: f64_field(value, "wall_clock_seconds")?,
+        // Written only when a surrogate served at least one evaluation; pre-surrogate
+        // (and surrogate-less) reports carry no key.
+        model_evals: match value.get("model_evals") {
+            Some(count) => number_as::<u64>(count, "model_evals")?,
+            None => 0,
+        },
         // Written only for failed cells; healthy (and pre-ProcessBackend) reports
         // carry no key.
         failure: match value.get("failure") {
@@ -779,6 +904,78 @@ mod tests {
     }
 
     #[test]
+    fn external_costs_reproduce_the_budget_plan_when_equal() {
+        // Feeding the budgets back in as external estimates must yield the exact plan
+        // `new` builds — the two entry points share one builder.
+        let spec = spec();
+        let budgets: Vec<f64> = spec
+            .cells()
+            .iter()
+            .map(|c| spec.budget_for(&c.tuner) as f64)
+            .collect();
+        for strategy in ShardStrategy::ALL {
+            let from_budgets = ShardPlan::new(&spec, 3, strategy);
+            let from_costs = ShardPlan::with_cell_costs(&spec, 3, strategy, &budgets)
+                .expect("finite costs plan");
+            assert_eq!(from_budgets, from_costs, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn poisoned_external_costs_are_rejected_with_typed_errors() {
+        let spec = spec();
+        let scheduled = spec.cells().len();
+        let mut costs = vec![1.0; scheduled];
+
+        costs[2] = f64::NAN;
+        assert!(matches!(
+            ShardPlan::with_cell_costs(&spec, 3, ShardStrategy::CostBalanced, &costs),
+            Err(PlanError::NonFiniteCost { index: 2, .. })
+        ));
+
+        costs[2] = f64::INFINITY;
+        assert!(matches!(
+            ShardPlan::with_cell_costs(&spec, 3, ShardStrategy::CostBalanced, &costs),
+            Err(PlanError::NonFiniteCost { index: 2, .. })
+        ));
+
+        costs[2] = -1.0;
+        assert!(matches!(
+            ShardPlan::with_cell_costs(&spec, 3, ShardStrategy::CostBalanced, &costs),
+            Err(PlanError::NegativeCost { index: 2, .. })
+        ));
+
+        costs[2] = 1.0;
+        costs.pop();
+        let short = ShardPlan::with_cell_costs(&spec, 3, ShardStrategy::CostBalanced, &costs);
+        assert_eq!(
+            short,
+            Err(PlanError::CostCountMismatch {
+                cells: scheduled,
+                costs: scheduled - 1
+            })
+        );
+    }
+
+    #[test]
+    fn fractional_external_costs_balance_within_the_lpt_bound() {
+        let spec = spec();
+        let costs: Vec<f64> = (0..spec.cells().len())
+            .map(|i| 0.25 + (i % 7) as f64 * 0.375)
+            .collect();
+        let plan = ShardPlan::with_cell_costs(&spec, 4, ShardStrategy::CostBalanced, &costs)
+            .expect("finite costs plan");
+        let total: f64 = costs.iter().sum();
+        let max_cell = costs.iter().fold(0.0f64, |a, &b| a.max(b));
+        for shard in 0..plan.shard_count() {
+            assert!(
+                plan.estimated_cost_exact(shard) <= total / 4.0 + max_cell + 1e-9,
+                "shard {shard} exceeds the LPT bound"
+            );
+        }
+    }
+
+    #[test]
     fn more_shards_than_cells_leaves_empty_shards() {
         let mut small = spec();
         small.tuners = vec!["RandomSearch".into()];
@@ -813,6 +1010,7 @@ mod tests {
             samples: 4,
             core_hours: 1.0,
             wall_clock_seconds: 60.0,
+            model_evals: 0,
             failure: None,
         }
     }

@@ -158,6 +158,37 @@ fn corrupt_cell_files_are_rerun_not_trusted() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// A corrupt cell file whose corruption is *adversarially deep nesting* (rather than
+/// truncation) is also discarded and re-run: the JSON parser's depth cap turns what
+/// would be a stack overflow into an ordinary parse error, so resume survives a
+/// malicious or bit-rotted `cells/cell-<i>.json` without crashing the process.
+#[test]
+fn deeply_nested_corrupt_cell_files_are_discarded_not_fatal() {
+    let spec = random_spec(1, 2, 17);
+    let campaign = Campaign::new(spec.clone());
+    let dir = unique_dir("deep");
+    let lab = CampaignLab::open(&dir, &spec).expect("lab opens");
+    let whole = campaign
+        .run_lab(&lab)
+        .expect("first run")
+        .report
+        .expect("complete");
+
+    // 100k unclosed arrays: a recursive-descent parser without a depth cap would
+    // blow the stack here and take the whole resume down with it.
+    fs::write(lab.cell_path(0), "[".repeat(100_000)).expect("overwrite cell file");
+
+    let outcome = campaign.run_lab(&lab).expect("resume over deep nesting");
+    assert_eq!(outcome.discarded_cells, 1);
+    assert_eq!(outcome.fresh_cells, 1);
+    assert_eq!(outcome.loaded_cells, lab.scheduled_cells() - 1);
+    assert_eq!(
+        outcome.report.expect("complete again").to_json(),
+        whole.to_json()
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// `max_new_cells` sizes sessions exactly: each capped session runs that many cells
 /// (or the remainder) and only the final one yields the merged report.
 #[test]

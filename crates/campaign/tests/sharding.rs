@@ -9,7 +9,8 @@
 //! deterministic cases per property.
 
 use dg_campaign::{
-    Campaign, CampaignReport, CampaignSpec, ExperimentScale, ShardPlan, ShardReport, ShardStrategy,
+    Campaign, CampaignReport, CampaignSpec, ExperimentScale, PlanError, ShardPlan, ShardReport,
+    ShardStrategy,
 };
 use dg_cloudsim::{InterferenceProfile, VmType};
 use dg_workloads::Application;
@@ -146,6 +147,73 @@ proptest! {
         let a = ShardPlan::new(&spec, shards, strategy);
         let b = ShardPlan::new(&spec.clone(), shards, strategy);
         prop_assert_eq!(a, b);
+    }
+
+    /// External (float) cost estimates either build a valid balanced plan or are
+    /// rejected with a typed error naming the first poisoned index — a NaN or
+    /// infinity must never silently scramble the LPT ordering.
+    #[test]
+    fn external_costs_never_poison_cost_balanced_plans(
+        tuner_count in 1usize..4,
+        seed_count in 1u64..5,
+        shards in 1usize..7,
+        cost_seed in 0u64..1_000_000,
+        poison_kind in 0usize..4,
+        poison_slot in 0usize..64,
+    ) {
+        let spec = random_spec(tuner_count, 1, seed_count, 9, false);
+        let scheduled = spec.cells().len();
+        // A cheap deterministic pseudo-random cost per cell, occasionally fractional
+        // and occasionally zero, derived from the sampled seed.
+        let mut costs: Vec<f64> = (0..scheduled)
+            .map(|i| {
+                let bits = (cost_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                    .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                (bits % 1024) as f64 / 8.0
+            })
+            .collect();
+
+        // Finite costs: the plan must partition the cells and respect the LPT bound.
+        let plan = ShardPlan::with_cell_costs(&spec, shards, ShardStrategy::CostBalanced, &costs)
+            .expect("finite costs always plan");
+        let mut covered = vec![false; scheduled];
+        for shard in 0..plan.shard_count() {
+            for index in plan.indices(shard) {
+                prop_assert!(!covered[*index], "cell {} assigned twice", index);
+                covered[*index] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|c| *c), "some cell is uncovered");
+        let total: f64 = costs.iter().sum();
+        let max_cell = costs.iter().fold(0.0f64, |a, &b| a.max(b));
+        for shard in 0..plan.shard_count() {
+            prop_assert!(
+                plan.estimated_cost_exact(shard) <= total / shards as f64 + max_cell + 1e-9,
+                "shard {} cost {} exceeds LPT bound ({} total, {} max cell)",
+                shard,
+                plan.estimated_cost_exact(shard),
+                total,
+                max_cell
+            );
+        }
+
+        // Poison one slot: the plan must refuse with a typed error, not reorder.
+        let index = poison_slot % scheduled;
+        costs[index] = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0][poison_kind];
+        let poisoned =
+            ShardPlan::with_cell_costs(&spec, shards, ShardStrategy::CostBalanced, &costs);
+        match poison_kind {
+            3 => prop_assert_eq!(
+                poisoned,
+                Err(PlanError::NegativeCost { index, cost: -1.0 })
+            ),
+            _ => prop_assert!(
+                matches!(poisoned, Err(PlanError::NonFiniteCost { index: i, .. }) if i == index),
+                "expected NonFiniteCost at {}, got {:?}",
+                index,
+                poisoned
+            ),
+        }
     }
 
     /// Cost-balanced plans respect the greedy LPT bound: no shard's estimated cost

@@ -1,0 +1,152 @@
+//! The surrogate differential battery: surrogate-wrapped campaigns are either
+//! *exactly* the plain campaign (inactive configurations) or a cheaper campaign that
+//! still records, replays, and reports through the same machinery.
+//!
+//! Three properties are pinned:
+//!
+//! 1. a `fraction = 0` surrogate (any shape of inactive config) leaves the campaign
+//!    report **byte-identical** to a surrogate-less run — the knob is free to carry in
+//!    specs that sometimes disable it;
+//! 2. an *active* surrogate campaign records and replays byte-identically with zero
+//!    resimulation, because the surrogate is a pure deterministic function of the
+//!    request sequence and the inner backend's recorded bits;
+//! 3. an active surrogate actually commits fewer simulator operations than the plain
+//!    run and reports how many evaluations the model served (`model_evals`).
+
+use dg_campaign::{Campaign, CampaignSpec, ExperimentScale, SurrogateConfig};
+use dg_cloudsim::{InterferenceProfile, VmType};
+use dg_exec::sim_ops;
+use dg_workloads::Application;
+use proptest::prelude::*;
+
+/// A deliberately tiny per-cell scale so 64 differential cases (each running every
+/// cell twice) stay inside a few seconds.
+fn tiny_scale() -> ExperimentScale {
+    ExperimentScale {
+        space_size: 400,
+        regions: 4,
+        players_per_game: 4,
+        baseline_budget: 6,
+        exhaustive_budget: 24,
+        evaluation_runs: 4,
+        evaluation_spacing: 600.0,
+        tuning_repeats: 1,
+    }
+}
+
+/// Builds a randomized small grid from the sampled axis sizes.
+fn random_spec(tuner_count: usize, seed_count: u64, base_seed: u64) -> CampaignSpec {
+    let mut spec = CampaignSpec::new("surrogate-differential");
+    let tuner_pool = ["RandomSearch", "NTBEA", "OpenTuner"];
+    spec.tuners = tuner_pool[..tuner_count]
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
+    spec.applications = vec![Application::Redis];
+    spec.vm_types = vec![VmType::M5_8xlarge];
+    spec.profiles = vec![InterferenceProfile::typical()];
+    spec.seeds = (0..seed_count).collect();
+    spec.scale = tiny_scale();
+    spec.base_seed = base_seed;
+    spec
+}
+
+/// An aggressive gate that serves as soon as any tuple has a single sample — the
+/// point of these tests is exercising the serving path, not prediction quality.
+fn eager_surrogate() -> SurrogateConfig {
+    SurrogateConfig {
+        fraction: 1.0,
+        min_samples: 1,
+        max_rel_std: 10.0,
+        bins: 8,
+    }
+}
+
+proptest! {
+    /// The inactive-surrogate differential: a `fraction = 0` config of any shape is a
+    /// no-op down to the report bytes (and the spec fingerprint), on any worker count.
+    #[test]
+    fn inactive_surrogates_leave_reports_byte_identical(
+        tuner_count in 1usize..3,
+        seed_count in 1u64..3,
+        base_seed in 0u64..1_000_000,
+        config_shape in 0usize..2,
+        workers in 1usize..3,
+    ) {
+        let plain = random_spec(tuner_count, seed_count, base_seed);
+        let mut wrapped = plain.clone();
+        wrapped.surrogate = Some(match config_shape {
+            0 => SurrogateConfig::passthrough(),
+            _ => SurrogateConfig {
+                fraction: 0.0,
+                min_samples: 5,
+                max_rel_std: 0.3,
+                bins: 4,
+            },
+        });
+        prop_assert_eq!(
+            plain.fingerprint(),
+            wrapped.fingerprint(),
+            "an inactive surrogate must not re-key the campaign"
+        );
+        let reference = Campaign::new(plain).run_with_workers(1);
+        let report = Campaign::new(wrapped).run_with_workers(workers);
+        prop_assert_eq!(reference.to_json(), report.to_json());
+    }
+
+    /// Active surrogate campaigns record and replay byte-identically, and the replay
+    /// runs zero simulator operations: the surrogate re-derives the same serve/real
+    /// decisions from the replayed inner bits.
+    #[test]
+    fn surrogate_campaigns_record_and_replay_byte_identically(
+        seed_count in 1u64..3,
+        base_seed in 0u64..1_000_000,
+    ) {
+        let mut spec = random_spec(1, seed_count, base_seed);
+        spec.surrogate = Some(eager_surrogate());
+        let campaign = Campaign::new(spec);
+        let (live, trace) = campaign.record_with_workers(1);
+        let before = sim_ops();
+        let replayed = campaign
+            .replay_with_workers(trace, 1)
+            .expect("a just-recorded trace replays");
+        prop_assert_eq!(sim_ops(), before, "replay must not touch the simulator");
+        prop_assert_eq!(replayed.to_json(), live.to_json());
+    }
+}
+
+/// The cost story of the tentpole, at smoke scale: an eager surrogate commits fewer
+/// simulator operations than the plain campaign and reports the served count per cell
+/// (`model_evals`, present in the JSON only when non-zero).
+#[test]
+fn active_surrogates_commit_fewer_sim_ops_and_report_served_counts() {
+    let plain = random_spec(2, 2, 31);
+    let mut wrapped = plain.clone();
+    wrapped.surrogate = Some(eager_surrogate());
+
+    let before = sim_ops();
+    let reference = Campaign::new(plain).run_with_workers(1);
+    let plain_ops = sim_ops() - before;
+
+    let before = sim_ops();
+    let report = Campaign::new(wrapped).run_with_workers(1);
+    let surrogate_ops = sim_ops() - before;
+
+    assert!(
+        surrogate_ops < plain_ops,
+        "eager surrogate committed {surrogate_ops} sim ops, plain run {plain_ops}"
+    );
+    let served: u64 = report.cells.iter().map(|c| c.model_evals).sum();
+    assert!(
+        served > 0,
+        "the eager gate must serve at least one evaluation"
+    );
+    assert!(
+        report.to_json().contains("\"model_evals\":"),
+        "served cells must expose their counts in the report JSON"
+    );
+    assert!(
+        !reference.to_json().contains("model_evals"),
+        "surrogate-less reports keep the pre-surrogate schema"
+    );
+}

@@ -18,7 +18,10 @@
 //!   [`ExecutionTrace`] (canonical JSON), then replay a whole campaign byte-identical
 //!   to the live run with **zero** resimulation (and zero process launches);
 //! * [`MemoBackend`] — a composable wrapper memoizing solo evaluations and
-//!   observations for exhaustive/oracle/grid-heavy paths.
+//!   observations for exhaustive/oracle/grid-heavy paths;
+//! * [`SurrogateBackend`] — a composable wrapper fitting an online n-tuple model of
+//!   configuration → outcome and serving confident repeat evaluations from it,
+//!   cost-free, behind a tunable fraction and confidence gate.
 //!
 //! The [`BackendProvider`] trait is the factory side: campaign executors create one
 //! backend per grid cell through a provider, which is what makes recording and
@@ -47,6 +50,7 @@ pub mod json;
 mod memo;
 mod process;
 mod sim;
+mod surrogate;
 mod trace;
 
 pub use backend::{BackendProvider, ExecutionBackend, GamePlay, GameRules};
@@ -55,6 +59,7 @@ pub use process::{
     process_launches, CommandTemplate, ProcessBackend, ProcessError, ProcessProvider, TimingSource,
 };
 pub use sim::{sim_ops, SimBackend, SimProvider};
+pub use surrogate::{SurrogateBackend, SurrogateConfig, SurrogateProvider, SurrogateStats};
 pub use trace::{
     profile_label, ExecutionTrace, RecordingBackend, ReplayBackend, TraceError, TraceEvent,
     TraceRecorder, TraceReplayer, TraceStream,

@@ -19,36 +19,64 @@ fn spec_key(spec: &ExecutionSpec) -> (u64, u64) {
 ///   `(spec, start, salt)` on every backend in this crate, so caching them is fully
 ///   transparent — same results, fewer simulations.
 /// * **Solo evaluations** ([`ExecutionBackend::run_single`]) are *not* pure: a live
-///   environment observes different interference at different clock times. A memo hit
-///   replays the first recorded observation and charges the same cost/clock advance
-///   the original run incurred (through [`ExecutionBackend::commit`], the same code
-///   path a live run uses). This deliberately trades the simulator's time-varying
-///   noise on repeat evaluations for speed — appropriate for oracle-style sweeps and
-///   grid searches where each configuration's first observation is what matters, and
-///   exactly the approximation surrogate-assisted tuners make when they substitute a
-///   cheap model for true fitness evaluation.
+///   environment observes different interference at different clock times. The solo
+///   cache therefore keys on the clock **as well as** the spec (mirroring the
+///   observation key): a hit replays the first observation recorded for that exact
+///   `(spec, start time)` and charges the same cost/clock advance the original run
+///   incurred (through [`ExecutionBackend::commit`], the same code path a live run
+///   uses). Because [`run_single`](ExecutionBackend::run_single) itself advances the
+///   clock, the default key makes repeat evaluations at *later* times miss — which is
+///   exactly right under a load-varying environment (e.g. a `ScenarioBackend` mid
+///   regime shift), where replaying a time from a stale load regime would be wrong.
+///   Callers that knowingly run against a stationary environment and want the old
+///   aggressive behaviour opt in with [`assuming_stationary`](Self::assuming_stationary),
+///   which drops the clock from the key — the approximation surrogate-assisted tuners
+///   make when they substitute a cheap model for true fitness evaluation.
 ///
 /// Games are never memoized (their outcomes depend on the full player set and the
 /// clock) and always reach the inner backend. Forked sub-environments get their own
 /// empty caches, because a fork is a different noise realisation.
 pub struct MemoBackend {
     inner: Box<dyn ExecutionBackend>,
-    solo: HashMap<(u64, u64), (f64, f64)>,
+    /// When set, the solo key's clock component is pinned to zero: repeat evaluations
+    /// of a spec hit regardless of when they run.
+    stationary: bool,
+    solo: HashMap<(u64, u64, u64), (f64, f64)>,
     observations: HashMap<(u64, u64, u64, u64), f64>,
     hits: u64,
     misses: u64,
 }
 
 impl MemoBackend {
-    /// Wraps `inner` with empty caches.
+    /// Wraps `inner` with empty caches. Solo evaluations are keyed by the clock as
+    /// well as the spec, so the cache stays correct under time-varying environments.
     pub fn new(inner: Box<dyn ExecutionBackend>) -> Self {
+        Self::with_stationary(inner, false)
+    }
+
+    /// Wraps `inner` with empty caches, *assuming the environment is stationary*:
+    /// solo evaluations are keyed by the spec alone, so a configuration's first
+    /// observation answers every repeat no matter the clock. Do not compose this
+    /// with load-varying wrappers such as a non-steady `ScenarioBackend` — a hit
+    /// would replay a time from a different load regime.
+    pub fn assuming_stationary(inner: Box<dyn ExecutionBackend>) -> Self {
+        Self::with_stationary(inner, true)
+    }
+
+    fn with_stationary(inner: Box<dyn ExecutionBackend>, stationary: bool) -> Self {
         Self {
             inner,
+            stationary,
             solo: HashMap::new(),
             observations: HashMap::new(),
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// Whether solo hits ignore the clock (see [`assuming_stationary`](Self::assuming_stationary)).
+    pub fn is_stationary(&self) -> bool {
+        self.stationary
     }
 
     /// Number of requests answered from the caches.
@@ -64,6 +92,18 @@ impl MemoBackend {
     /// Unwraps the memoizer, discarding the caches.
     pub fn into_inner(self) -> Box<dyn ExecutionBackend> {
         self.inner
+    }
+
+    /// The solo cache key: spec bits plus the clock component (pinned to zero under
+    /// the stationary assumption).
+    fn solo_key(&self, spec: &ExecutionSpec) -> (u64, u64, u64) {
+        let (b, s) = spec_key(spec);
+        let clock = if self.stationary {
+            0
+        } else {
+            self.inner.clock().as_seconds().to_bits()
+        };
+        (b, s, clock)
     }
 }
 
@@ -97,7 +137,7 @@ impl ExecutionBackend for MemoBackend {
     }
 
     fn run_single(&mut self, spec: ExecutionSpec) -> ObservedRun {
-        let key = spec_key(&spec);
+        let key = self.solo_key(&spec);
         if let Some(&(observed_time, elapsed)) = self.solo.get(&key) {
             self.hits += 1;
             let started_at = self.inner.clock();
@@ -144,7 +184,10 @@ impl ExecutionBackend for MemoBackend {
     }
 
     fn fork(&mut self, seed: u64) -> Box<dyn ExecutionBackend> {
-        Box::new(MemoBackend::new(self.inner.fork(seed)))
+        Box::new(MemoBackend::with_stationary(
+            self.inner.fork(seed),
+            self.stationary,
+        ))
     }
 
     fn failure(&self) -> Option<String> {
@@ -157,17 +200,30 @@ mod tests {
     use super::*;
     use crate::sim::SimBackend;
 
-    fn memo(seed: u64) -> MemoBackend {
-        MemoBackend::new(Box::new(SimBackend::new(
+    fn sim(seed: u64) -> Box<dyn ExecutionBackend> {
+        Box::new(SimBackend::new(
             VmType::M5_8xlarge,
             InterferenceProfile::typical(),
             seed,
-        )))
+        ))
     }
 
     #[test]
-    fn repeat_solo_evaluations_hit_the_cache_and_still_charge() {
-        let mut exec = memo(1);
+    fn solo_cache_keys_on_the_clock_by_default() {
+        let mut exec = MemoBackend::new(sim(1));
+        let spec = ExecutionSpec::new(100.0, 0.8);
+        let _ = exec.run_single(spec);
+        // `run_single` advanced the clock, so the repeat is a *different* start time:
+        // a correct memoizer must re-evaluate, not replay the stale observation.
+        let _ = exec.run_single(spec);
+        assert_eq!(exec.hits(), 0);
+        assert_eq!(exec.misses(), 2);
+    }
+
+    #[test]
+    fn stationary_memo_hits_across_the_clock_and_still_charges() {
+        let mut exec = MemoBackend::assuming_stationary(sim(1));
+        assert!(exec.is_stationary());
         let spec = ExecutionSpec::new(100.0, 0.8);
         let first = exec.run_single(spec);
         let cost_after_first = exec.cost().core_hours();
@@ -185,7 +241,7 @@ mod tests {
 
     #[test]
     fn observations_are_transparently_cached() {
-        let mut exec = memo(2);
+        let mut exec = MemoBackend::new(sim(2));
         let spec = ExecutionSpec::new(150.0, 0.5);
         let a = exec.observe_single_at(spec, SimTime::from_seconds(1000.0), 3);
         let b = exec.observe_single_at(spec, SimTime::from_seconds(1000.0), 3);
@@ -200,7 +256,7 @@ mod tests {
 
     #[test]
     fn games_and_forks_bypass_the_cache() {
-        let mut exec = memo(3);
+        let mut exec = MemoBackend::assuming_stationary(sim(3));
         let specs = [ExecutionSpec::new(80.0, 0.2), ExecutionSpec::new(90.0, 0.9)];
         let play_a = exec.play_game(&specs, &GameRules::default());
         let play_b = exec.play_game(&specs, &GameRules::default());

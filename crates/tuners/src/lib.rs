@@ -13,6 +13,7 @@
 //! * [`ActiveHarmony`] — rank-order simplex search (Nelder–Mead with restarts).
 //! * [`OpenTuner`] — an ensemble of techniques arbitrated by an AUC bandit.
 //! * [`Bliss`] — a pool of lightweight Bayesian-optimisation models.
+//! * [`Ntbea`] — the N-Tuple Bandit Evolutionary Algorithm (model-based search).
 //!
 //! [`TunerRegistry`] exposes all of them (and anything downstream crates register) as
 //! named `Box<dyn Tuner>` factories, which is how campaign drivers sweep over tuners.
@@ -38,6 +39,7 @@ mod bliss;
 mod evaluator;
 mod exhaustive;
 mod gp;
+mod ntbea;
 mod opentuner;
 mod oracle;
 mod outcome;
@@ -52,6 +54,7 @@ pub use bliss::Bliss;
 pub use evaluator::{CloudEvaluator, TuningBudget};
 pub use exhaustive::ExhaustiveSearch;
 pub use gp::GaussianProcess;
+pub use ntbea::Ntbea;
 pub use opentuner::OpenTuner;
 pub use oracle::OracleTuner;
 pub use outcome::{SampleRecord, TuningOutcome};

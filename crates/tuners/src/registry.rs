@@ -23,6 +23,7 @@
 use crate::activeharmony::ActiveHarmony;
 use crate::bliss::Bliss;
 use crate::exhaustive::ExhaustiveSearch;
+use crate::ntbea::Ntbea;
 use crate::opentuner::OpenTuner;
 use crate::random::RandomSearch;
 use crate::tuner::Tuner;
@@ -58,7 +59,8 @@ impl TunerRegistry {
     }
 
     /// A registry pre-populated with this crate's baselines, in the paper's figure
-    /// order: Exhaustive, BLISS, OpenTuner, ActiveHarmony, RandomSearch.
+    /// order — Exhaustive, BLISS, OpenTuner, ActiveHarmony, RandomSearch — followed by
+    /// NTBEA (appended last so grids built from the original five keep their order).
     pub fn baselines() -> Self {
         let mut registry = Self::new();
         registry.register("Exhaustive", |_seed, _vm| Box::new(ExhaustiveSearch::new()));
@@ -70,6 +72,7 @@ impl TunerRegistry {
         registry.register("RandomSearch", |seed, _vm| {
             Box::new(RandomSearch::new(seed))
         });
+        registry.register("NTBEA", |seed, _vm| Box::new(Ntbea::new(seed)));
         registry
     }
 
@@ -132,10 +135,11 @@ mod tests {
                 "BLISS",
                 "OpenTuner",
                 "ActiveHarmony",
-                "RandomSearch"
+                "RandomSearch",
+                "NTBEA"
             ]
         );
-        assert_eq!(registry.len(), 5);
+        assert_eq!(registry.len(), 6);
         assert!(!registry.is_empty());
     }
 
@@ -168,7 +172,7 @@ mod tests {
             Box::new(RandomSearch::new(seed + 100))
         });
         assert_eq!(registry.names(), before, "replacement must keep the order");
-        assert_eq!(registry.len(), 5);
+        assert_eq!(registry.len(), 6);
     }
 
     #[test]

@@ -8,12 +8,13 @@ use dg_workloads::{Application, Workload};
 
 /// The pinned baseline order. Changing it silently re-keys every campaign grid, so a
 /// deliberate change must update this test (and regenerate any stored golden reports).
-const BASELINE_ORDER: [&str; 5] = [
+const BASELINE_ORDER: [&str; 6] = [
     "Exhaustive",
     "BLISS",
     "OpenTuner",
     "ActiveHarmony",
     "RandomSearch",
+    "NTBEA",
 ];
 
 #[test]

@@ -32,6 +32,7 @@ fn gauntlet_spec(smoke: bool) -> CampaignSpec {
         "BLISS".into(),
         "OpenTuner".into(),
         "ActiveHarmony".into(),
+        "NTBEA".into(),
     ];
     spec.scenarios = ScenarioSpec::pack();
     if smoke {

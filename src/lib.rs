@@ -8,11 +8,11 @@
 //! * [`workloads`] — parameter spaces and synthetic performance surfaces
 //!   ([`dg_workloads`]).
 //! * [`tuners`] — baseline tuners: Oracle, Exhaustive, Random, ActiveHarmony, OpenTuner,
-//!   BLISS ([`dg_tuners`]).
+//!   BLISS, NTBEA ([`dg_tuners`]).
 //! * [`darwin`] — the DarwinGame tournament tuner and hybrid integration
 //!   ([`darwin_core`]).
 //! * [`exec`] — the [`dg_exec::ExecutionBackend`] trait with simulation, record/replay,
-//!   and memoizing backends ([`dg_exec`]).
+//!   memoizing, and surrogate-model backends ([`dg_exec`]).
 //! * [`scenario`] — the composable cloud-scenario engine: declarative event timelines
 //!   (preemptions, diurnal load, regime shifts, fleets) over any backend
 //!   ([`dg_scenario`]).
@@ -61,12 +61,13 @@ pub mod prelude {
     pub use dg_exec::{
         process_launches, BackendProvider, CommandTemplate, ExecutionBackend, ExecutionTrace,
         GameRules, MemoBackend, ProcessBackend, ProcessError, ProcessProvider, SimBackend,
-        TimingSource, TraceRecorder, TraceReplayer,
+        SurrogateBackend, SurrogateConfig, SurrogateProvider, SurrogateStats, TimingSource,
+        TraceRecorder, TraceReplayer,
     };
     pub use dg_scenario::{ScenarioBackend, ScenarioEvent, ScenarioProvider, ScenarioSpec};
     pub use dg_stats::{coefficient_of_variation, mean, EmpiricalCdf, Summary};
     pub use dg_tuners::{
-        ActiveHarmony, Bliss, ExhaustiveSearch, OpenTuner, OracleTuner, RandomSearch, Tuner,
+        ActiveHarmony, Bliss, ExhaustiveSearch, Ntbea, OpenTuner, OracleTuner, RandomSearch, Tuner,
         TunerRegistry, TuningBudget, TuningOutcome,
     };
     pub use dg_workloads::{Application, ParameterSpace, Workload};
