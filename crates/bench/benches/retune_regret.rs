@@ -1,0 +1,155 @@
+//! Online retuning vs the paper's tune-once protocol: cumulative-regret gauntlet.
+//!
+//! The claim being verified: over the dynamic scenarios of the retune gauntlet
+//! (`regime-shift`, `diurnal`, `bursty-neighbor`, all with sensitivity-coupled load),
+//! a [`RetuneLoop`] that monitors its deployment stream and re-tunes on confirmed
+//! drift accrues **strictly lower cumulative regret** than the tune-once protocol at
+//! exact evaluation parity — the fixed leg of every cell spends up front precisely
+//! the evaluations the adaptive leg ended up spending. Under `steady` the monitor
+//! must never fire: zero detections, zero retunes, and (because parity makes the two
+//! legs run identical tuning sessions) an exact regret tie. The whole sweep runs
+//! twice, on 1 worker and on all cores, and the two reports must be byte-identical.
+//!
+//! Regret is measured against a fixed oracle configuration probed pairwise with the
+//! deployed champion at every deployment step, so both legs share a bitwise-equal
+//! baseline and the regret difference isolates the champion gap. Negative regret
+//! means a leg beat the single-configuration oracle — possible under coupled load,
+//! where no one configuration is optimal in every regime.
+//!
+//! Run with `cargo bench --bench retune_regret`. Set `DG_RETUNE_SMOKE=1` for the
+//! CI-sized grid (the strict per-scenario assertion relaxes to the aggregate — a
+//! six-seed column is too small a sample to assert cell-level strictness on) and
+//! `DG_RETUNE_OUT=/path/report.json` to write the machine-readable results (the
+//! same JSON always goes to stdout).
+
+use dg_campaign::RetuneSpec;
+use dg_exec::json::{push_f64, push_key, push_str_literal};
+use dg_serve::RetuneSweep;
+
+fn gauntlet_spec(smoke: bool) -> RetuneSpec {
+    let mut spec = RetuneSpec::gauntlet("retune-regret", if smoke { 6 } else { 12 });
+    if smoke {
+        spec.space_size = 500;
+        spec.policy.initial_budget = 16;
+        spec.policy.retune_budget = 4;
+        spec.policy.max_retunes = 3;
+        spec.policy.deploy_steps = 96;
+    }
+    spec.base_seed = 0x5e21;
+    spec
+}
+
+fn main() {
+    let smoke = std::env::var("DG_RETUNE_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let spec = gauntlet_spec(smoke);
+    let sweep = RetuneSweep::new(spec);
+
+    println!(
+        "=== Retune regret: {} scenarios x {} seeds ({} cells, <= {} evals/leg, {}) ===\n",
+        sweep.spec().scenarios.len(),
+        sweep.spec().seeds.len(),
+        sweep.spec().grid_size(),
+        sweep.spec().fixed_budget(),
+        if smoke { "smoke" } else { "full" },
+    );
+
+    let serial = sweep.run_with_workers(1);
+    let parallel = sweep.run();
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "1-worker and N-worker retune sweeps must be byte-identical"
+    );
+    let report = parallel;
+
+    println!("{}", report.summary_table());
+
+    let steady = report.scenario("steady").expect("steady column");
+    assert_eq!(
+        steady.detections, 0,
+        "the monitor must never fire under a steady environment"
+    );
+    assert_eq!(steady.retunes, 0, "steady cells must never spend a retune");
+    assert_eq!(
+        steady.adaptive_regret.to_bits(),
+        steady.fixed_regret.to_bits(),
+        "evaluation parity makes undetected cells exact ties"
+    );
+
+    let dynamic: Vec<_> = report
+        .scenarios
+        .iter()
+        .filter(|s| s.scenario != "steady")
+        .collect();
+    let adaptive: f64 = dynamic.iter().map(|s| s.adaptive_regret).sum();
+    let fixed: f64 = dynamic.iter().map(|s| s.fixed_regret).sum();
+    println!("\ndynamic scenarios: adaptive regret {adaptive:.1} s vs tune-once {fixed:.1} s");
+    if smoke {
+        assert!(
+            adaptive < fixed,
+            "adaptive serving must beat tune-once in aggregate \
+             (adaptive {adaptive:.1} s vs fixed {fixed:.1} s)"
+        );
+    } else {
+        for summary in &dynamic {
+            assert!(
+                summary.adaptive_regret < summary.fixed_regret,
+                "adaptive regret must be strictly lower under {} \
+                 (adaptive {:.1} s vs fixed {:.1} s)",
+                summary.scenario,
+                summary.adaptive_regret,
+                summary.fixed_regret
+            );
+        }
+    }
+
+    // The machine-readable record, to stdout and (optionally) a file.
+    let mut json = String::from("{");
+    let mut first = true;
+    push_key(&mut json, &mut first, "bench");
+    push_str_literal(&mut json, "retune_regret");
+    push_key(&mut json, &mut first, "mode");
+    push_str_literal(&mut json, if smoke { "smoke" } else { "full" });
+    push_key(&mut json, &mut first, "spec_fingerprint");
+    json.push_str(&sweep.spec().fingerprint().to_string());
+    push_key(&mut json, &mut first, "cells");
+    json.push_str(&report.cells.len().to_string());
+    push_key(&mut json, &mut first, "dynamic_adaptive_regret");
+    push_f64(&mut json, adaptive);
+    push_key(&mut json, &mut first, "dynamic_fixed_regret");
+    push_f64(&mut json, fixed);
+    push_key(&mut json, &mut first, "scenarios");
+    json.push('[');
+    for (i, summary) in report.scenarios.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push('{');
+        let mut first = true;
+        push_key(&mut json, &mut first, "scenario");
+        push_str_literal(&mut json, &summary.scenario);
+        push_key(&mut json, &mut first, "cells");
+        json.push_str(&summary.cells.to_string());
+        push_key(&mut json, &mut first, "adaptive_regret");
+        push_f64(&mut json, summary.adaptive_regret);
+        push_key(&mut json, &mut first, "fixed_regret");
+        push_f64(&mut json, summary.fixed_regret);
+        push_key(&mut json, &mut first, "regret_reduction_percent");
+        push_f64(&mut json, summary.regret_reduction_percent());
+        push_key(&mut json, &mut first, "detections");
+        json.push_str(&summary.detections.to_string());
+        push_key(&mut json, &mut first, "retunes");
+        json.push_str(&summary.retunes.to_string());
+        push_key(&mut json, &mut first, "switches");
+        json.push_str(&summary.switches.to_string());
+        json.push('}');
+    }
+    json.push_str("]}");
+    println!("\n{json}");
+    if let Ok(path) = std::env::var("DG_RETUNE_OUT") {
+        if !path.is_empty() {
+            std::fs::write(&path, &json).expect("write retune bench report");
+            println!("report written to {path}");
+        }
+    }
+}

@@ -50,6 +50,7 @@
 mod executor;
 mod lab;
 mod report;
+mod retune;
 mod scale;
 mod shard;
 mod spec;
@@ -59,6 +60,10 @@ pub use dg_scenario::{ScenarioBackend, ScenarioEvent, ScenarioProvider, Scenario
 pub use executor::{default_workers, register_darwin_variant, standard_registry, Campaign};
 pub use lab::{CampaignLab, LabError, LabOutcome};
 pub use report::{CampaignReport, CellResult, GroupSummary};
+pub use retune::{
+    RetuneCellCoord, RetuneCellResult, RetunePolicy, RetuneReport, RetuneScenarioSummary,
+    RetuneSpec,
+};
 pub use scale::ExperimentScale;
 pub use shard::{MergeError, PlanError, ShardParseError, ShardPlan, ShardReport, ShardStrategy};
 pub use spec::{profile_label, CampaignSpec, CellCoord};

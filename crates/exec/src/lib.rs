@@ -51,6 +51,7 @@ mod memo;
 mod process;
 mod sim;
 mod surrogate;
+mod tap;
 mod trace;
 
 pub use backend::{BackendProvider, ExecutionBackend, GamePlay, GameRules};
@@ -60,6 +61,7 @@ pub use process::{
 };
 pub use sim::{sim_ops, SimBackend, SimProvider};
 pub use surrogate::{SurrogateBackend, SurrogateConfig, SurrogateProvider, SurrogateStats};
+pub use tap::{ObservationTap, TapBackend, TapEvent, TapProvider, TapSource};
 pub use trace::{
     profile_label, ExecutionTrace, RecordingBackend, ReplayBackend, TraceError, TraceEvent,
     TraceRecorder, TraceReplayer, TraceStream,

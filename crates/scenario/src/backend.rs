@@ -5,6 +5,13 @@ use crate::timeline::Timeline;
 use dg_cloudsim::{CostTracker, ExecutionSpec, InterferenceProfile, ObservedRun, SimTime, VmType};
 use dg_exec::{BackendProvider, ExecutionBackend, GamePlay, GameRules};
 
+/// The pivot interference sensitivity for [`ScenarioSpec::load_coupling`]: a spec
+/// with exactly this sensitivity feels the nominal load factor under full coupling.
+/// Sits mid-range of the workload generators' `[~0.12, ~1.2]` sensitivity spread, so
+/// fragile configurations roughly square a load excursion while robust ones feel its
+/// fourth root.
+const REFERENCE_SENSITIVITY: f64 = 0.6;
+
 /// An [`ExecutionBackend`] decorator that applies a [`ScenarioSpec`]'s event timeline
 /// as its clock advances, so tournaments, baseline tuners, record/replay traces, and
 /// sharded campaigns all get scenarios for free through the existing backend seam.
@@ -129,6 +136,53 @@ impl ScenarioBackend {
         self.speed * self.timeline.load_factor(t.as_seconds())
     }
 
+    /// The scenario-scaled span of a base span of `base` seconds starting at `start`.
+    ///
+    /// By default the load factor is sampled once at `start` and held for the whole
+    /// span — stale for long operations that straddle a shift or storm edge. When the
+    /// scenario opts in via [`ScenarioSpec::with_integrated_load`], the factor is
+    /// instead integrated piecewise over the occupied window
+    /// `[start, start + speed * base)`, charging each load level only for the
+    /// wall-clock actually spent under it. The default path computes the exact
+    /// product the pre-flag code did, so existing goldens and fingerprints stay
+    /// byte-identical.
+    fn scaled_span(&self, start: SimTime, base: f64) -> f64 {
+        if self.spec.integrate_load {
+            let s = start.as_seconds();
+            self.timeline.integrate_load(s, s + self.speed * base)
+        } else {
+            self.factor_at(start) * base
+        }
+    }
+
+    /// [`scaled_span`](Self::scaled_span) for one player's observed time, honouring
+    /// [`ScenarioSpec::load_coupling`]: under coupling `c` the timeline's load level
+    /// `L` is felt as `L^((1 - c) + c * s / 0.6)` by a spec with interference
+    /// sensitivity `s` — fragile configurations amplify a storm, robust ones shrug it
+    /// off, and `s = 0.6` feels exactly the nominal factor. Hardware speed stays a
+    /// uniform multiplier (a slower machine slows everything equally). With coupling
+    /// off this *is* `scaled_span`, taken through the identical arithmetic so existing
+    /// goldens stay byte-identical.
+    fn scaled_span_for(&self, start: SimTime, base: f64, sensitivity: f64) -> f64 {
+        let c = self.spec.load_coupling;
+        if c == 0.0 {
+            return self.scaled_span(start, base);
+        }
+        let load = if self.spec.integrate_load {
+            let s = start.as_seconds();
+            let span = self.speed * base;
+            if span > 0.0 {
+                self.timeline.integrate_load(s, s + span) / span
+            } else {
+                self.timeline.load_factor(s)
+            }
+        } else {
+            self.timeline.load_factor(start.as_seconds())
+        };
+        let exponent = (1.0 - c) + c * sensitivity / REFERENCE_SENSITIVITY;
+        self.speed * load.powf(exponent) * base
+    }
+
     /// Moves the inner backend's clock forward to the scenario clock so inner noise
     /// processes are sampled at scenario time. The inner clock never advances on its
     /// own (commits are not delegated), so it can only lag, never lead.
@@ -206,13 +260,15 @@ impl ExecutionBackend for ScenarioBackend {
     fn play_game(&mut self, specs: &[ExecutionSpec], rules: &GameRules) -> GamePlay {
         self.sync_inner_clock();
         let mut play = self.inner.play_game(specs, rules);
-        let factor = self.factor_at(play.start);
-        for time in &mut play.observed_times {
-            *time *= factor;
+        for (time, spec) in play.observed_times.iter_mut().zip(specs) {
+            *time = self.scaled_span_for(play.start, *time, spec.sensitivity());
         }
         // Execution scores are relative work fractions; a slowdown shared by every
-        // co-located player leaves them untouched.
-        play.elapsed = self.preempted_span(play.start, play.elapsed * factor);
+        // co-located player leaves them untouched. The game's wall-clock (the thing
+        // that is billed) scales machine-level: load occupies the node regardless of
+        // which players were fragile enough to feel it in their observed times.
+        let scaled_elapsed = self.scaled_span(play.start, play.elapsed);
+        play.elapsed = self.preempted_span(play.start, scaled_elapsed);
         play
     }
 
@@ -234,7 +290,8 @@ impl ExecutionBackend for ScenarioBackend {
     fn observe_single_at(&mut self, spec: ExecutionSpec, start: SimTime, salt: u64) -> f64 {
         // Cost-free measurement: the load factor at the observation instant applies,
         // preemptions do not (nothing is charged, nothing restarts).
-        self.inner.observe_single_at(spec, start, salt) * self.factor_at(start)
+        let inner = self.inner.observe_single_at(spec, start, salt);
+        self.scaled_span_for(start, inner, spec.sensitivity())
     }
 
     fn commit(&mut self, play: &GamePlay) {
@@ -430,6 +487,84 @@ mod tests {
             "the surviving run's observation is unchanged"
         );
         assert_eq!(spot.clock().as_seconds(), a.elapsed);
+    }
+
+    #[test]
+    fn integrated_load_charges_each_level_for_its_own_span() {
+        // A 100 s operation straddles a 2x load shift at t = 50. The stale
+        // sampled-at-start factor charges the whole op at the pre-shift level; the
+        // opt-in piecewise integration charges 50 s at 1.0 plus the remaining 50 s of
+        // base work at 2.0 = 150 s.
+        let shift = ScenarioEvent::LoadShift {
+            at: 50.0,
+            factor: 2.0,
+        };
+        // Sensitivity 0 makes the inner observation exactly the base time, so the
+        // scenario arithmetic is checked without interference noise in the way.
+        let spec = ExecutionSpec::new(100.0, 0.0);
+
+        let mut integrated_spec = ScenarioSpec::new("ramp").with_integrated_load();
+        integrated_spec.events.push(shift.clone());
+        let mut integrated = wrapped(integrated_spec, 11);
+        let mut stale_spec = ScenarioSpec::new("ramp-stale");
+        stale_spec.events.push(shift);
+        let mut stale = wrapped(stale_spec, 11);
+
+        // Both backends share a seed, so the inner (pre-scenario) observation x is
+        // identical; only measurement jitter keeps it from being exactly the 100 s
+        // base. The stale factor (sampled at t = 0, before the shift) reports x; the
+        // integrated window [0, x) charges 50 s at 1.0 plus the rest at 2.0 = 2x - 50.
+        let probe = integrated.observe_single_at(spec, SimTime::ZERO, 0);
+        let old = stale.observe_single_at(spec, SimTime::ZERO, 0);
+        assert!(
+            (old - 100.0).abs() < 6.0,
+            "jitter stays within +/-5%: {old}"
+        );
+        assert!(
+            (probe - (2.0 * old - 50.0)).abs() < 1e-9,
+            "integrated {probe} vs stale {old}"
+        );
+        // An observation starting after the shift sits entirely at the new level, so
+        // the two treatments agree there.
+        let t50 = SimTime::from_seconds(50.0);
+        let after = integrated.observe_single_at(spec, t50, 0);
+        let after_stale = stale.observe_single_at(spec, t50, 0);
+        assert!(
+            (after - after_stale).abs() < 1e-9,
+            "integrated {after} vs stale {after_stale}"
+        );
+        assert!(
+            after > 1.9 * old,
+            "post-shift probes run at the doubled level"
+        );
+
+        // Full runs go through the simulator's tick loop, so compare the two
+        // scenario treatments of the *same* inner outcome: for a window [0, x)
+        // straddling the t = 50 shift, the integral is 2x - 50 where the stale
+        // product is x.
+        let a = integrated.run_single(spec);
+        let b = stale.run_single(spec);
+        assert!(
+            (a.observed_time - (2.0 * b.observed_time - 50.0)).abs() < 1e-9,
+            "integrated {a:?} vs stale {b:?}"
+        );
+        assert!(
+            (a.elapsed - (2.0 * b.elapsed - 50.0)).abs() < 1e-9,
+            "integrated {a:?} vs stale {b:?}"
+        );
+    }
+
+    #[test]
+    fn integrated_steady_scenario_stays_exact() {
+        // With a constant load factor the integral is factor x base exactly, so the
+        // opt-in flag changes nothing on scenarios without mid-span structure.
+        let mut flagged = wrapped(ScenarioSpec::new("flat").with_integrated_load(), 9);
+        let mut plain = wrapped(ScenarioSpec::new("flat"), 9);
+        let spec = ExecutionSpec::new(100.0, 0.4);
+        let a = flagged.run_single(spec);
+        let b = plain.run_single(spec);
+        assert_eq!(a.observed_time.to_bits(), b.observed_time.to_bits());
+        assert_eq!(a.elapsed.to_bits(), b.elapsed.to_bits());
     }
 
     #[test]

@@ -399,6 +399,24 @@ pub struct ScenarioSpec {
     pub fleet: Vec<VmType>,
     /// The event timeline (order irrelevant; expansion sorts by time).
     pub events: Vec<ScenarioEvent>,
+    /// When `true`, long operations are scaled by the load factor *integrated
+    /// piecewise* over `[start, start + duration)` instead of by the factor sampled
+    /// once at `start` — so an operation straddling a `LoadShift`/`Storm` boundary
+    /// feels the new regime for exactly the fraction of its span it overlaps. Off by
+    /// default: the sampled-at-start behaviour (and its byte-identical goldens and
+    /// fingerprints) is preserved, and the flag is only serialized when set.
+    pub integrate_load: bool,
+    /// How strongly the load factor bites through each configuration's interference
+    /// *sensitivity* instead of uniformly, in `[0, 1]`. At `0.0` (the default) load is
+    /// a pure machine-level multiplier: every configuration slows down by the same
+    /// factor, so a regime change can never reorder the configuration space. At `c`,
+    /// an operation by a spec with sensitivity `s` is scaled by
+    /// `load^((1 - c) + c * s / 0.6)` — robust configurations (low `s`) shrug storms
+    /// off while fragile ones are amplified, so high-load regimes genuinely favour
+    /// different champions than quiet ones (the non-stationary reordering TUNA
+    /// observes on real co-located nodes). Only serialized when non-zero, so
+    /// pre-existing canonical forms and fingerprints stay byte-identical.
+    pub load_coupling: f64,
 }
 
 impl ScenarioSpec {
@@ -410,7 +428,31 @@ impl ScenarioSpec {
             profile: None,
             fleet: Vec::new(),
             events: Vec::new(),
+            integrate_load: false,
+            load_coupling: 0.0,
         }
+    }
+
+    /// The same scenario with piecewise load-factor integration enabled (see
+    /// [`integrate_load`](Self::integrate_load)).
+    pub fn with_integrated_load(mut self) -> Self {
+        self.integrate_load = true;
+        self
+    }
+
+    /// The same scenario with sensitivity-coupled load (see
+    /// [`load_coupling`](Self::load_coupling)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coupling` is outside `[0, 1]`.
+    pub fn with_load_coupling(mut self, coupling: f64) -> Self {
+        assert!(
+            coupling.is_finite() && (0.0..=1.0).contains(&coupling),
+            "load coupling must be in [0, 1], got {coupling}"
+        );
+        self.load_coupling = coupling;
+        self
     }
 
     /// The default scenario: an unperturbed node. [`is_passthrough`](Self::is_passthrough)
@@ -434,6 +476,11 @@ impl ScenarioSpec {
     /// [`ScenarioEvent`] field docs for the constraints).
     pub fn validate(&self) {
         assert!(!self.name.is_empty(), "scenario needs a name");
+        assert!(
+            self.load_coupling.is_finite() && (0.0..=1.0).contains(&self.load_coupling),
+            "load coupling must be in [0, 1], got {}",
+            self.load_coupling
+        );
         for event in &self.events {
             event.validate();
         }
@@ -468,6 +515,24 @@ impl ScenarioSpec {
                 self.fleet.clone()
             },
             events,
+            integrate_load: self.integrate_load || other.integrate_load,
+            load_coupling: self.load_coupling.max(other.load_coupling),
+        }
+    }
+
+    /// Delay combinator: the same scenario with every event arriving `dt` seconds
+    /// later — the "neighbour moves in mid-flight" variant of a timeline. Unlike
+    /// [`then`](Self::then) the name, profile, and fleet are preserved, so a delayed
+    /// pack scenario keeps its report column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not finite and non-negative.
+    pub fn delayed(&self, dt: f64) -> ScenarioSpec {
+        assert!(dt.is_finite() && dt >= 0.0, "delay must be >= 0");
+        ScenarioSpec {
+            events: self.events.iter().map(|e| e.shifted(dt)).collect(),
+            ..self.clone()
         }
     }
 
@@ -485,6 +550,8 @@ impl ScenarioSpec {
             profile: self.profile.clone(),
             fleet: self.fleet.clone(),
             events: self.events.iter().map(|e| e.time_scaled(k)).collect(),
+            integrate_load: self.integrate_load,
+            load_coupling: self.load_coupling,
         }
     }
 
@@ -602,7 +669,18 @@ impl ScenarioSpec {
             }
             event.to_json(&mut out);
         }
-        out.push_str("]}");
+        out.push(']');
+        // Only serialized when set, so pre-existing canonical forms (and every
+        // fingerprint derived from them) stay byte-identical for the default.
+        if self.integrate_load {
+            push_key(&mut out, &mut first, "integrate_load");
+            out.push_str("true");
+        }
+        if self.load_coupling != 0.0 {
+            push_key(&mut out, &mut first, "load_coupling");
+            push_f64(&mut out, self.load_coupling);
+        }
+        out.push('}');
         out
     }
 
@@ -644,11 +722,32 @@ impl ScenarioSpec {
         {
             events.push(ScenarioEvent::from_value(entry)?);
         }
+        let integrate_load = match root.get("integrate_load") {
+            None => false,
+            Some(value) => value
+                .as_bool()
+                .ok_or_else(|| "scenario \"integrate_load\" is not a bool".to_string())?,
+        };
+        let load_coupling = match root.get("load_coupling") {
+            None => 0.0,
+            Some(value) => {
+                let c = value
+                    .number_token()
+                    .and_then(|t| t.parse::<f64>().ok())
+                    .ok_or_else(|| "scenario \"load_coupling\" is not a number".to_string())?;
+                if !(c.is_finite() && (0.0..=1.0).contains(&c)) {
+                    return Err(format!("scenario \"load_coupling\" {c} is outside [0, 1]"));
+                }
+                c
+            }
+        };
         Ok(ScenarioSpec {
             name,
             profile,
             fleet,
             events,
+            integrate_load,
+            load_coupling,
         })
     }
 
@@ -798,6 +897,32 @@ mod tests {
     }
 
     #[test]
+    fn integrate_load_round_trips_and_defaults_stay_byte_identical() {
+        // Off (the default): the canonical form must not mention the flag at all, so
+        // every pre-existing golden and fingerprint stays byte-identical.
+        let plain = ScenarioSpec::by_name("regime-shift").unwrap();
+        assert!(!plain.integrate_load);
+        assert!(!plain.to_json().contains("integrate_load"));
+
+        // On: the flag round-trips through canonical JSON and changes the fingerprint.
+        let flagged = plain.clone().with_integrated_load();
+        assert!(flagged.integrate_load);
+        let json = flagged.to_json();
+        assert!(json.ends_with("\"integrate_load\":true}"), "{json}");
+        let parsed = ScenarioSpec::from_json(&json).expect("flagged scenario parses");
+        assert_eq!(parsed, flagged);
+        assert_eq!(parsed.to_json(), json, "byte-identical re-serialization");
+        assert_ne!(plain.fingerprint(), flagged.fingerprint());
+
+        // The flag survives composition: overlay ORs it, scale copies it.
+        let steady = ScenarioSpec::steady();
+        assert!(steady.overlay(&flagged).integrate_load);
+        assert!(flagged.overlay(&steady).integrate_load);
+        assert!(flagged.scale(2.0).integrate_load);
+        assert!(!plain.scale(2.0).integrate_load);
+    }
+
+    #[test]
     fn malformed_scenarios_are_rejected() {
         for bad in [
             "{}",
@@ -805,6 +930,7 @@ mod tests {
             "{\"name\":\"x\",\"profile\":null,\"fleet\":[\"t2.nano\"],\"events\":[]}",
             "{\"name\":\"x\",\"profile\":null,\"fleet\":[],\"events\":[{\"op\":\"warp\"}]}",
             "{\"name\":\"x\",\"profile\":\"mystery\",\"fleet\":[],\"events\":[]}",
+            "{\"name\":\"x\",\"profile\":null,\"fleet\":[],\"events\":[],\"integrate_load\":\"yes\"}",
         ] {
             assert!(ScenarioSpec::from_json(bad).is_err(), "{bad:?} must fail");
         }

@@ -1,0 +1,324 @@
+//! The champion monitor: recency-weighted tracking plus change-point detection over a
+//! deployed configuration's observed execution times.
+//!
+//! A [`ChampionMonitor`] combines three defences against the three ways a noisy
+//! deployment stream can mislead a retuning loop:
+//!
+//! * an [`Ewma`] tracks the *current belief* about the champion's performance with
+//!   recency weighting; its hit counter is the **confidence gate** — no drift is
+//!   reported until enough samples have been absorbed — and its mean is the **level
+//!   gate**: a detector firing is only reported while the belief itself sits outside
+//!   the calibrated reference band;
+//! * a **transient filter** holds any sample deviating wildly from the calibrated
+//!   reference back for one step: a lone spike (preemption retry, cache cold start) is
+//!   dropped, while two consecutive deviations to the same side feed through as the
+//!   start of a genuine level change;
+//! * a [`DriftDetector`] (two-sided CUSUM over the filtered stream) decides when the
+//!   accumulated evidence amounts to a *regime change* rather than noise.
+
+use dg_stats::{DriftConfig, DriftDetector, DriftDirection, Ewma};
+
+/// Tuning knobs for a [`ChampionMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorConfig {
+    /// Recency weight of the EWMA belief tracker, in `(0, 1]`.
+    pub alpha: f64,
+    /// Minimum EWMA hits before a detector firing is reported (confidence gate).
+    pub min_hits: u64,
+    /// Samples deviating more than this many reference standard deviations are
+    /// treated as potential transients and held back one step.
+    pub transient_sigma: f64,
+    /// Configuration of the underlying CUSUM detector.
+    pub drift: DriftConfig,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.2,
+            min_hits: 8,
+            transient_sigma: 4.0,
+            drift: DriftConfig::default(),
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alpha` is outside `(0, 1]`, `transient_sigma` is not strictly
+    /// positive, or the drift configuration is invalid.
+    pub fn validate(&self) {
+        assert!(
+            self.alpha.is_finite() && self.alpha > 0.0 && self.alpha <= 1.0,
+            "alpha must be in (0, 1]"
+        );
+        assert!(
+            self.transient_sigma.is_finite() && self.transient_sigma > 0.0,
+            "transient_sigma must be > 0"
+        );
+        self.drift.validate();
+    }
+}
+
+/// Watches one deployed champion's observation stream and reports confirmed regime
+/// changes.
+///
+/// ```
+/// use dg_serve::{ChampionMonitor, MonitorConfig};
+/// use dg_stats::{DriftConfig, DriftDirection};
+///
+/// let mut monitor = ChampionMonitor::new(MonitorConfig {
+///     drift: DriftConfig { warmup: 8, ..DriftConfig::default() },
+///     ..MonitorConfig::default()
+/// });
+/// for i in 0..8 {
+///     assert_eq!(monitor.push(100.0 + (i % 2) as f64), None);
+/// }
+/// // One wild spike is filtered as a transient...
+/// assert_eq!(monitor.push(400.0), None);
+/// assert_eq!(monitor.push(101.0), None);
+/// // ...but a sustained slowdown is confirmed.
+/// let fired = (0..20).find_map(|_| monitor.push(170.0));
+/// assert_eq!(fired, Some(DriftDirection::Up));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChampionMonitor {
+    config: MonitorConfig,
+    ewma: Ewma,
+    detector: DriftDetector,
+    /// A deviant sample held back one step by the transient filter.
+    pending: Option<f64>,
+    transients: u64,
+    samples: u64,
+}
+
+impl ChampionMonitor {
+    /// Creates a monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid (see [`MonitorConfig::validate`]).
+    pub fn new(config: MonitorConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            ewma: Ewma::new(config.alpha),
+            detector: DriftDetector::new(config.drift),
+            pending: None,
+            transients: 0,
+            samples: 0,
+        }
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// The recency-weighted belief about the monitored stream.
+    pub fn belief(&self) -> &Ewma {
+        &self.ewma
+    }
+
+    /// The underlying change-point detector.
+    pub fn detector(&self) -> &DriftDetector {
+        &self.detector
+    }
+
+    /// Samples dropped (or currently held) by the transient filter.
+    pub fn transients(&self) -> u64 {
+        self.transients
+    }
+
+    /// Non-NaN samples offered to the monitor.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples
+    }
+
+    /// Feeds one observation; returns the drift direction the first time a regime
+    /// change is confirmed *and* the confidence gate is open. NaN samples are ignored.
+    pub fn push(&mut self, value: f64) -> Option<DriftDirection> {
+        if value.is_nan() {
+            return None;
+        }
+        self.samples += 1;
+        if !self.detector.calibrated() {
+            // During calibration every sample is reference material; the detector
+            // cannot fire yet, so the filter has nothing to protect.
+            self.ewma.push(value);
+            let fired = self.detector.push(value);
+            return self.gate(fired);
+        }
+        let (mean, std) = self.reference_band();
+        let deviant = (value - mean).abs() > self.config.transient_sigma * std;
+        match self.pending.take() {
+            Some(held) if deviant && (held > mean) == (value > mean) => {
+                // Two consecutive deviations to the same side: a level change, not a
+                // transient. Release the held sample first to keep stream order.
+                self.ewma.push(held);
+                let first = self.detector.push(held);
+                self.ewma.push(value);
+                let second = self.detector.push(value);
+                self.gate(second.or(first))
+            }
+            held => {
+                // Any held sample not confirmed by a same-side deviation was a lone
+                // transient: drop it.
+                if held.is_some() {
+                    self.transients += 1;
+                }
+                if deviant {
+                    self.pending = Some(value);
+                    return None;
+                }
+                self.ewma.push(value);
+                let fired = self.detector.push(value);
+                self.gate(fired)
+            }
+        }
+    }
+
+    /// Clears all state — belief, detector, and filter — so the *current* regime
+    /// becomes the new reference. Call after acting on a confirmed drift (a retune).
+    pub fn reset(&mut self) {
+        self.ewma.reset();
+        self.detector.reset();
+        self.pending = None;
+        self.transients = 0;
+        self.samples = 0;
+    }
+
+    /// The frozen reference band the transient filter compares against, reproducing
+    /// the detector's calibration floor.
+    fn reference_band(&self) -> (f64, f64) {
+        let reference = self.detector.reference();
+        let mean = reference.mean();
+        let std = reference
+            .std_dev()
+            .max(self.config.drift.min_rel_std * mean.abs())
+            .max(f64::EPSILON);
+        (mean, std)
+    }
+
+    fn gate(&self, fired: Option<DriftDirection>) -> Option<DriftDirection> {
+        fired.filter(|_| {
+            if !self.ewma.confident(self.config.min_hits) {
+                return false;
+            }
+            // The recency-weighted belief must itself have left the reference band:
+            // CUSUM evidence without a level change in the belief is the signature of
+            // a slow stationary wave, not a regime change.
+            let (mean, std) = self.reference_band();
+            (self.ewma.mean() - mean).abs() > std
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(warmup: u32) -> MonitorConfig {
+        MonitorConfig {
+            drift: DriftConfig {
+                warmup,
+                ..DriftConfig::default()
+            },
+            ..MonitorConfig::default()
+        }
+    }
+
+    fn calibrated(warmup: u32) -> ChampionMonitor {
+        let mut monitor = ChampionMonitor::new(quick(warmup));
+        for i in 0..warmup {
+            assert_eq!(monitor.push(100.0 + (i % 3) as f64), None);
+        }
+        assert!(monitor.detector().calibrated());
+        monitor
+    }
+
+    #[test]
+    fn steady_wobble_never_fires() {
+        let mut monitor = ChampionMonitor::new(quick(32));
+        let sample = |i: u64| 100.0 + 6.0 * ((i as f64 * 0.9).sin() - (i as f64 * 0.17).cos());
+        for i in 0..600 {
+            assert_eq!(monitor.push(sample(i)), None, "fired at sample {i}");
+        }
+        assert_eq!(monitor.transients(), 0);
+    }
+
+    #[test]
+    fn lone_spikes_are_filtered_as_transients() {
+        let mut monitor = calibrated(16);
+        for round in 0..60 {
+            let value = if round % 15 == 7 { 500.0 } else { 101.0 };
+            assert_eq!(monitor.push(value), None, "fired at round {round}");
+        }
+        assert!(monitor.transients() >= 3, "spikes must be counted");
+    }
+
+    #[test]
+    fn sustained_shift_fires_despite_the_filter() {
+        let mut monitor = calibrated(16);
+        let fired = (0..24).find_map(|_| monitor.push(180.0));
+        assert_eq!(fired, Some(dg_stats::DriftDirection::Up));
+    }
+
+    #[test]
+    fn downward_shift_fires_down() {
+        let mut monitor = calibrated(16);
+        let fired = (0..24).find_map(|_| monitor.push(40.0));
+        assert_eq!(fired, Some(dg_stats::DriftDirection::Down));
+    }
+
+    #[test]
+    fn confidence_gate_holds_back_early_detections() {
+        let config = MonitorConfig {
+            min_hits: 1_000,
+            ..quick(8)
+        };
+        let mut monitor = ChampionMonitor::new(config);
+        for i in 0..8 {
+            monitor.push(100.0 + (i % 2) as f64);
+        }
+        for i in 0..200 {
+            assert_eq!(
+                monitor.push(250.0),
+                None,
+                "the gate must suppress the firing at sample {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_recalibrates_to_the_new_regime() {
+        let mut monitor = calibrated(8);
+        assert!((0..24).find_map(|_| monitor.push(200.0)).is_some());
+        monitor.reset();
+        assert_eq!(monitor.samples_seen(), 0);
+        // The new level calibrates as the reference; staying there never fires.
+        for i in 0..100 {
+            assert_eq!(monitor.push(200.0 + (i % 2) as f64), None);
+        }
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut monitor = calibrated(8);
+        let before = monitor.samples_seen();
+        assert_eq!(monitor.push(f64::NAN), None);
+        assert_eq!(monitor.samples_seen(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "transient_sigma")]
+    fn invalid_config_is_rejected() {
+        ChampionMonitor::new(MonitorConfig {
+            transient_sigma: 0.0,
+            ..MonitorConfig::default()
+        });
+    }
+}

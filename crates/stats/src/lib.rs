@@ -28,6 +28,7 @@
 
 mod cdf;
 mod descriptive;
+mod drift;
 mod histogram;
 mod online;
 mod table;
@@ -37,6 +38,7 @@ pub use descriptive::{
     coefficient_of_variation, geometric_mean, mean, median, percent_change, percentile,
     population_variance, sample_variance, std_dev, Summary,
 };
+pub use drift::{DriftConfig, DriftDetector, DriftDirection, Ewma};
 pub use histogram::Histogram;
 pub use online::OnlineStats;
 pub use table::{format_row, Alignment, Column, Table};

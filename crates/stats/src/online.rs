@@ -24,6 +24,7 @@ pub struct OnlineStats {
     m2: f64,
     min: f64,
     max: f64,
+    nan_count: u64,
 }
 
 impl OnlineStats {
@@ -35,11 +36,22 @@ impl OnlineStats {
             m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            nan_count: 0,
         }
     }
 
     /// Adds one observation.
+    ///
+    /// NaN samples are rejected rather than accumulated: a single NaN would poison
+    /// `mean`/`m2` forever while `f64::min`/`f64::max` silently dropped it, leaving the
+    /// accumulator internally inconsistent. Rejected samples are tallied in
+    /// [`nan_count`](Self::nan_count) so callers can still see that the stream
+    /// misbehaved.
     pub fn push(&mut self, value: f64) {
+        if value.is_nan() {
+            self.nan_count += 1;
+            return;
+        }
         self.count += 1;
         let delta = value - self.mean;
         self.mean += delta / self.count as f64;
@@ -51,11 +63,14 @@ impl OnlineStats {
 
     /// Merges another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &OnlineStats) {
+        self.nan_count += other.nan_count;
         if other.count == 0 {
             return;
         }
         if self.count == 0 {
+            let nan_count = self.nan_count;
             *self = *other;
+            self.nan_count = nan_count;
             return;
         }
         let total = self.count + other.count;
@@ -71,9 +86,14 @@ impl OnlineStats {
         self.max = self.max.max(other.max);
     }
 
-    /// Number of observations pushed so far.
+    /// Number of observations pushed so far (NaN rejects excluded).
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Number of NaN samples rejected by [`push`](Self::push) so far.
+    pub fn nan_count(&self) -> u64 {
+        self.nan_count
     }
 
     /// Running mean, or 0 when empty.
@@ -99,13 +119,15 @@ impl OnlineStats {
         self.variance().sqrt()
     }
 
-    /// Coefficient of variation as a percentage, or 0 when undefined.
+    /// Coefficient of variation as a percentage, or 0 when undefined. The denominator
+    /// is `|mean|`, so a negative-mean stream reports the same (non-negative) relative
+    /// dispersion as its mirror image.
     pub fn coefficient_of_variation(&self) -> f64 {
         let m = self.mean();
         if m.abs() < f64::EPSILON || self.count < 2 {
             0.0
         } else {
-            100.0 * self.std_dev() / m
+            100.0 * self.std_dev() / m.abs()
         }
     }
 
@@ -169,6 +191,70 @@ mod tests {
         assert_eq!(merged.count(), sequential.count());
         assert!((merged.mean() - sequential.mean()).abs() < 1e-12);
         assert!((merged.variance() - sequential.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_samples_are_rejected_and_counted() {
+        let mut s = OnlineStats::new();
+        s.push(2.0);
+        s.push(f64::NAN);
+        s.push(4.0);
+        s.push(f64::NAN);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.nan_count(), 2);
+        assert_eq!(s.mean(), 3.0);
+        assert!(s.variance().is_finite());
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 4.0);
+
+        let mut clean = OnlineStats::new();
+        clean.push(2.0);
+        clean.push(4.0);
+        assert_eq!(s.mean().to_bits(), clean.mean().to_bits());
+        assert_eq!(s.variance().to_bits(), clean.variance().to_bits());
+    }
+
+    #[test]
+    fn merge_sums_nan_counts() {
+        let mut a = OnlineStats::new();
+        a.push(f64::NAN);
+        a.push(1.0);
+        let mut b = OnlineStats::new();
+        b.push(f64::NAN);
+        b.push(f64::NAN);
+        b.push(2.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.nan_count(), 3);
+
+        // Merging into an empty accumulator keeps its own NaN tally too.
+        let mut empty = OnlineStats::new();
+        empty.push(f64::NAN);
+        empty.merge(&b);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.nan_count(), 3);
+    }
+
+    #[test]
+    fn cov_is_non_negative_for_negative_mean_streams() {
+        let mut negative = OnlineStats::new();
+        let mut positive = OnlineStats::new();
+        for v in [10.0, 12.0, 20.0] {
+            negative.push(-v);
+            positive.push(v);
+        }
+        assert!(negative.mean() < 0.0);
+        assert!(negative.coefficient_of_variation() > 0.0);
+        assert_eq!(
+            negative.coefficient_of_variation().to_bits(),
+            positive.coefficient_of_variation().to_bits(),
+            "a mirrored stream has identical relative dispersion"
+        );
+        // Zero-mean streams stay at the 0 sentinel (the ratio is undefined).
+        let mut zero = OnlineStats::new();
+        zero.push(-1.0);
+        zero.push(1.0);
+        assert_eq!(zero.coefficient_of_variation(), 0.0);
     }
 
     #[test]

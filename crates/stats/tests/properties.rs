@@ -3,7 +3,8 @@
 //! variation must not depend on the unit of measurement.
 
 use dg_stats::{
-    coefficient_of_variation, mean, sample_variance, EmpiricalCdf, Histogram, OnlineStats,
+    coefficient_of_variation, mean, sample_variance, DriftConfig, DriftDetector, EmpiricalCdf,
+    Histogram, OnlineStats,
 };
 use proptest::prelude::*;
 
@@ -153,6 +154,87 @@ proptest! {
             previous = value;
         }
         prop_assert!(close(cdf.quantile(1.0), cdf.max()));
+    }
+
+    /// NaN samples are rejected without touching the accumulated statistics: the
+    /// polluted stream is bit-identical to the clean stream in every statistic, and
+    /// the rejects are tallied.
+    #[test]
+    fn online_stats_reject_nan_without_poisoning(
+        samples in prop::collection::vec(-1_000.0f64..1_000.0, 1..64),
+        nan_positions in prop::collection::vec(0usize..64, 0..16),
+    ) {
+        let mut clean = OnlineStats::new();
+        for sample in &samples {
+            clean.push(*sample);
+        }
+        let mut polluted = OnlineStats::new();
+        let mut injected = 0u64;
+        for (index, sample) in samples.iter().enumerate() {
+            if nan_positions.contains(&index) {
+                polluted.push(f64::NAN);
+                injected += 1;
+            }
+            polluted.push(*sample);
+        }
+        prop_assert_eq!(polluted.count(), clean.count());
+        prop_assert_eq!(polluted.nan_count(), injected);
+        prop_assert_eq!(polluted.mean().to_bits(), clean.mean().to_bits());
+        prop_assert_eq!(polluted.variance().to_bits(), clean.variance().to_bits());
+        prop_assert_eq!(polluted.min().to_bits(), clean.min().to_bits());
+        prop_assert_eq!(polluted.max().to_bits(), clean.max().to_bits());
+        prop_assert!(!polluted.mean().is_nan());
+    }
+
+    /// The online CoV is non-negative for any stream, and a stream mirrored through
+    /// zero reports exactly the same relative dispersion.
+    #[test]
+    fn online_cov_is_sign_invariant(
+        samples in prop::collection::vec(1.0f64..2_000.0, 2..64),
+    ) {
+        let mut positive = OnlineStats::new();
+        let mut negative = OnlineStats::new();
+        for sample in &samples {
+            positive.push(*sample);
+            negative.push(-*sample);
+        }
+        prop_assert!(negative.mean() < 0.0);
+        prop_assert!(positive.coefficient_of_variation() >= 0.0);
+        prop_assert!(negative.coefficient_of_variation() >= 0.0);
+        prop_assert!(close(
+            negative.coefficient_of_variation(),
+            positive.coefficient_of_variation()
+        ));
+    }
+
+    /// A drift detector over a bounded stationary stream never fires, while the same
+    /// stream with a large persistent level shift planted after calibration always
+    /// fires upward within a bounded number of post-shift samples.
+    #[test]
+    fn drift_detector_separates_stationary_from_shifted(
+        base in 50.0f64..500.0,
+        wobble in prop::collection::vec(-1.0f64..1.0, 96..128),
+    ) {
+        let config = DriftConfig { warmup: 32, ..DriftConfig::default() };
+        // Stationary: bounded wobble around the base level never accumulates.
+        let mut stationary = DriftDetector::new(config);
+        for w in &wobble {
+            prop_assert_eq!(stationary.push(base * (1.0 + 0.05 * w)), None);
+        }
+        // Shifted: after calibration, a persistent 80% slowdown confirms quickly.
+        let mut shifted = DriftDetector::new(config);
+        for w in wobble.iter().take(32) {
+            shifted.push(base * (1.0 + 0.05 * w));
+        }
+        let fired = wobble
+            .iter()
+            .skip(32)
+            .position(|w| shifted.push(base * 1.8 * (1.0 + 0.05 * w)).is_some());
+        prop_assert!(
+            fired.is_some_and(|n| n < 24),
+            "planted shift not confirmed within 24 samples (got {:?})",
+            fired
+        );
     }
 
     /// The coefficient of variation is invariant under a positive change of units.

@@ -27,6 +27,8 @@ pub struct Ntbea {
     exploration: f64,
     /// Per-dimension probability of resampling beyond the one forced mutation.
     mutation_rate: f64,
+    /// Warm-start configurations, evaluated (and modelled) before the bandit walk.
+    hints: Vec<ConfigId>,
 }
 
 impl Ntbea {
@@ -37,6 +39,7 @@ impl Ntbea {
             neighbours: 16,
             exploration: 1.4,
             mutation_rate: 0.3,
+            hints: Vec::new(),
         }
     }
 
@@ -53,6 +56,7 @@ impl Ntbea {
             neighbours,
             exploration,
             mutation_rate: 0.3,
+            hints: Vec::new(),
         }
     }
 }
@@ -190,6 +194,30 @@ impl Tuner for Ntbea {
         // Points actually evaluated, in insertion order, unique by configuration.
         let mut visited: Vec<(ConfigId, Vec<usize>)> = Vec::new();
 
+        // Warm start: evaluate every hinted configuration first so its tuples inform
+        // the model, and begin the bandit walk from the best-observed hint.
+        let mut best_hint: Option<(Vec<usize>, f64)> = None;
+        for hint in &self.hints {
+            if evaluator.exhausted() {
+                break;
+            }
+            let id = (*hint).min(workload.size() - 1);
+            let point = space.point_of(id);
+            let observed = evaluator.evaluate(id);
+            if observed.is_finite() {
+                model.update(&point, -observed);
+                if best_hint.as_ref().map_or(true, |(_, t)| observed < *t) {
+                    best_hint = Some((point.clone(), observed));
+                }
+            }
+            if !visited.iter().any(|(v, _)| *v == id) {
+                visited.push((id, point));
+            }
+        }
+        if let Some((point, _)) = best_hint {
+            current = point;
+        }
+
         while !evaluator.exhausted() {
             let id = space.index_of(&current);
             let observed = evaluator.evaluate(id);
@@ -234,6 +262,10 @@ impl Tuner for Ntbea {
             .or_else(|| evaluator.best().map(|s| s.config))
             .unwrap_or(0);
         evaluator.finish(self.name(), chosen)
+    }
+
+    fn warm_start(&mut self, hints: &[ConfigId]) {
+        self.hints = hints.to_vec();
     }
 }
 
@@ -285,6 +317,19 @@ mod tests {
             ntbea_total <= random_total * 1.1,
             "NTBEA ({ntbea_total}) should be competitive with random ({random_total})"
         );
+    }
+
+    #[test]
+    fn warm_start_evaluates_hints_and_walks_from_the_best() {
+        let workload = Workload::scaled(Application::Redis, 10_000);
+        let mut cloud =
+            CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 37);
+        let mut tuner = Ntbea::new(2);
+        tuner.warm_start(&[5, 900]);
+        let outcome = tuner.tune(&workload, &mut cloud, TuningBudget::evaluations(20));
+        assert_eq!(outcome.samples, 20);
+        assert_eq!(outcome.history[0].config, 5);
+        assert_eq!(outcome.history[1].config, 900);
     }
 
     #[test]

@@ -5,21 +5,28 @@ use crate::outcome::TuningOutcome;
 use crate::tuner::Tuner;
 use dg_cloudsim::SimRng;
 use dg_exec::ExecutionBackend;
-use dg_workloads::Workload;
+use dg_workloads::{ConfigId, Workload};
 
 /// Random search: sample uniformly at random and keep the best observation.
 ///
 /// Random search is a surprisingly strong baseline in high-dimensional tuning spaces and
-/// serves as a sanity floor for the more sophisticated tuners.
+/// serves as a sanity floor for the more sophisticated tuners. When warm-started
+/// ([`Tuner::warm_start`]) it spends the first evaluations on the hinted
+/// configurations, so an online retuning loop never selects worse than a re-measured
+/// incumbent.
 #[derive(Debug, Clone)]
 pub struct RandomSearch {
     seed: u64,
+    hints: Vec<ConfigId>,
 }
 
 impl RandomSearch {
     /// Creates a random-search tuner with the given seed.
     pub fn new(seed: u64) -> Self {
-        Self { seed }
+        Self {
+            seed,
+            hints: Vec::new(),
+        }
     }
 }
 
@@ -37,12 +44,22 @@ impl Tuner for RandomSearch {
         let mut rng = SimRng::new(self.seed).derive("random-search");
         let mut evaluator = CloudEvaluator::new(workload, exec, budget);
         let size = workload.size();
+        for hint in &self.hints {
+            if evaluator.exhausted() {
+                break;
+            }
+            evaluator.evaluate((*hint).min(size - 1));
+        }
         while !evaluator.exhausted() {
             let id = ((rng.uniform() * size as f64) as u64).min(size - 1);
             evaluator.evaluate(id);
         }
         let chosen = evaluator.best().map(|s| s.config).unwrap_or(0);
         evaluator.finish(self.name(), chosen)
+    }
+
+    fn warm_start(&mut self, hints: &[ConfigId]) {
+        self.hints = hints.to_vec();
     }
 }
 
@@ -62,6 +79,28 @@ mod tests {
         assert_eq!(outcome.samples, 40);
         let best = outcome.best_observed().unwrap();
         assert_eq!(outcome.chosen, best.config);
+    }
+
+    #[test]
+    fn warm_start_evaluates_hints_first() {
+        let workload = Workload::scaled(Application::Redis, 5_000);
+        let mut cloud =
+            CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 3);
+        let mut tuner = RandomSearch::new(11);
+        tuner.warm_start(&[17, 230]);
+        let outcome = tuner.tune(&workload, &mut cloud, TuningBudget::evaluations(10));
+        assert_eq!(outcome.samples, 10);
+        assert_eq!(outcome.history[0].config, 17);
+        assert_eq!(outcome.history[1].config, 230);
+
+        // Hints consume budget like any evaluation: a 1-eval budget stops after the
+        // first hint.
+        let mut tiny = CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 3);
+        let mut tuner = RandomSearch::new(11);
+        tuner.warm_start(&[42, 43, 44]);
+        let outcome = tuner.tune(&workload, &mut tiny, TuningBudget::evaluations(1));
+        assert_eq!(outcome.samples, 1);
+        assert_eq!(outcome.chosen, 42);
     }
 
     #[test]

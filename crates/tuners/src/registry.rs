@@ -116,6 +116,21 @@ impl TunerRegistry {
             .find(|(n, _)| n == name)
             .map(|(_, factory)| factory(seed, vm))
     }
+
+    /// Builds a tuner by name and warm-starts it with `hints` (the incumbent champion
+    /// and hall-of-fame of an online retuning loop). Tuners without warm-start support
+    /// silently ignore the hints.
+    pub fn build_warm(
+        &self,
+        name: &str,
+        seed: u64,
+        vm: VmType,
+        hints: &[dg_workloads::ConfigId],
+    ) -> Option<Box<dyn Tuner>> {
+        let mut tuner = self.build(name, seed, vm)?;
+        tuner.warm_start(hints);
+        Some(tuner)
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +170,24 @@ mod tests {
         let outcome = tuner.tune(&workload, &mut cloud, TuningBudget::evaluations(10));
         assert_eq!(outcome.tuner, "RandomSearch");
         assert!(outcome.samples <= 10);
+    }
+
+    #[test]
+    fn build_warm_seeds_supporting_tuners() {
+        let registry = TunerRegistry::baselines();
+        let workload = Workload::scaled(Application::Redis, 2_000);
+        let mut cloud =
+            CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 1);
+        let mut tuner = registry
+            .build_warm("RandomSearch", 3, VmType::M5_8xlarge, &[7])
+            .expect("Random is a baseline");
+        let outcome = tuner.tune(&workload, &mut cloud, TuningBudget::evaluations(5));
+        assert_eq!(outcome.history[0].config, 7, "the hint is evaluated first");
+
+        // Tuners without warm-start support ignore the hints but still build.
+        assert!(registry
+            .build_warm("Exhaustive", 3, VmType::M5_8xlarge, &[7])
+            .is_some());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::evaluator::TuningBudget;
 use crate::outcome::TuningOutcome;
 use dg_exec::ExecutionBackend;
-use dg_workloads::Workload;
+use dg_workloads::{ConfigId, Workload};
 
 /// An application performance tuner.
 ///
@@ -24,6 +24,14 @@ pub trait Tuner {
         exec: &mut dyn ExecutionBackend,
         budget: TuningBudget,
     ) -> TuningOutcome;
+
+    /// Seeds the next [`tune`](Self::tune) call with known-good configurations — the
+    /// incumbent champion and hall-of-fame of an online retuning loop. Tuners that
+    /// support warm starting evaluate the hints before exploring; the default ignores
+    /// them, so every tuner remains a valid (cold-start) retuning candidate.
+    fn warm_start(&mut self, hints: &[ConfigId]) {
+        let _ = hints;
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,8 @@
 //!   ([`dg_scenario`]).
 //! * [`stats`] — shared statistics helpers ([`dg_stats`]).
 //! * [`campaign`] — the parallel experiment-campaign runner ([`dg_campaign`]).
+//! * [`serve`] — online continuous retuning: champion drift detection and live
+//!   re-tournaments against the tune-once protocol ([`dg_serve`]).
 //!
 //! # Quick example
 //!
@@ -40,6 +42,7 @@ pub use dg_campaign as campaign;
 pub use dg_cloudsim as cloudsim;
 pub use dg_exec as exec;
 pub use dg_scenario as scenario;
+pub use dg_serve as serve;
 pub use dg_stats as stats;
 pub use dg_tuners as tuners;
 pub use dg_workloads as workloads;
@@ -65,7 +68,13 @@ pub mod prelude {
         TraceRecorder, TraceReplayer,
     };
     pub use dg_scenario::{ScenarioBackend, ScenarioEvent, ScenarioProvider, ScenarioSpec};
-    pub use dg_stats::{coefficient_of_variation, mean, EmpiricalCdf, Summary};
+    pub use dg_serve::{
+        ChampionMonitor, MonitorConfig, RetuneLoop, RetunePolicy, RetuneReport,
+        RetuneScenarioSummary, RetuneSpec, RetuneSweep, ServeMode,
+    };
+    pub use dg_stats::{
+        coefficient_of_variation, mean, DriftConfig, DriftDetector, EmpiricalCdf, Summary,
+    };
     pub use dg_tuners::{
         ActiveHarmony, Bliss, ExhaustiveSearch, Ntbea, OpenTuner, OracleTuner, RandomSearch, Tuner,
         TunerRegistry, TuningBudget, TuningOutcome,
