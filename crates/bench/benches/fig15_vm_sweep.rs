@@ -16,7 +16,8 @@ use dg_campaign::{
     default_workers, Campaign, CampaignReport, CampaignSpec, ExecutionTrace, ExperimentScale,
     ShardPlan, ShardReport, ShardStrategy,
 };
-use dg_cloudsim::VmType;
+use dg_cloudsim::{fast_path_enabled, set_fast_path, VmType};
+use dg_exec::json::{fnv1a, push_f64, push_key, push_str_literal};
 use dg_exec::sim_ops;
 use dg_stats::{Column, Table};
 use dg_tuners::OracleTuner;
@@ -40,11 +41,38 @@ fn sweep_spec() -> CampaignSpec {
     spec
 }
 
+/// Runs the serial sweep `reps` times and keeps the fastest wall-clock (the runs are
+/// deterministic, so every repetition must produce the same report). Smoke sweeps
+/// finish in tens of milliseconds, where single-shot timings on a busy CI box swing
+/// by ±20%; best-of-N makes the batched-vs-legacy ratio a steady-state measurement.
+fn timed_serial(campaign: &Campaign, reps: u32) -> (std::time::Duration, CampaignReport) {
+    let mut best: Option<(std::time::Duration, CampaignReport)> = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let report = campaign.run_with_workers(1);
+        let elapsed = start.elapsed();
+        match &mut best {
+            Some((best_elapsed, best_report)) => {
+                assert_eq!(
+                    report.to_json(),
+                    best_report.to_json(),
+                    "repeated serial sweeps must be byte-identical"
+                );
+                *best_elapsed = (*best_elapsed).min(elapsed);
+            }
+            None => best = Some((elapsed, report)),
+        }
+    }
+    best.expect("at least one repetition")
+}
+
 fn main() {
     let spec = sweep_spec();
     let workload = Workload::scaled(Application::Redis, spec.scale.space_size);
     let campaign = Campaign::new(spec);
     let workers = default_workers();
+    let smoke = std::env::var("DG_FIG15_SMOKE").is_ok();
+    let reps = 3;
 
     println!("=== Figure 15: DarwinGame vs Oracle across VM types (Redis) ===\n");
     println!(
@@ -52,9 +80,7 @@ fn main() {
         campaign.spec().grid_size()
     );
 
-    let serial_start = Instant::now();
-    let serial_report = campaign.run_with_workers(1);
-    let serial_elapsed = serial_start.elapsed();
+    let (serial_elapsed, serial_report) = timed_serial(&campaign, reps);
 
     let parallel_start = Instant::now();
     let parallel_report = campaign.run_with_workers(workers);
@@ -143,6 +169,43 @@ fn main() {
         record_elapsed.as_secs_f64() / replay_elapsed.as_secs_f64().max(1e-9)
     );
 
+    // The batched-vs-legacy leg: re-run the serial sweep through the legacy scalar
+    // stepping loop (same binary, fast path toggled off) and demand a byte-identical
+    // report — the fused batch engine is pure speed, zero numbers. Skipped when
+    // DG_FORCE_UNBATCHED already pinned the whole sweep above to the legacy path.
+    let fast = fast_path_enabled();
+    let (unbatched_seconds, batched_speedup) = if fast {
+        set_fast_path(false);
+        let (legacy_elapsed, legacy_report) = timed_serial(&campaign, reps);
+        set_fast_path(true);
+        assert_eq!(
+            legacy_report.to_json(),
+            serial_report.to_json(),
+            "the legacy scalar loop must produce a byte-identical campaign report"
+        );
+        let speedup = legacy_elapsed.as_secs_f64() / serial_elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "legacy scalar loop:    {:>8.2} s  (fused batch path is {speedup:.2}x faster, byte-identical report)\n",
+            legacy_elapsed.as_secs_f64()
+        );
+        // At smoke scale the fixed per-cell costs the fast path eliminates (workload
+        // construction, spec lookups) are a large slice of the sweep, and the fused
+        // path clears 2x with margin — that is the CI gate. At full scale the solo
+        // evaluation runs dominate and both paths share the same bit-exact stepping
+        // physics, so the compounded speedup settles around 1.6–1.7x; the assert
+        // there is a regression floor, not the headline.
+        let floor = if smoke { 2.0 } else { 1.35 };
+        assert!(
+            speedup >= floor,
+            "the fused batch path must be at least {floor}x faster than the legacy loop \
+             (measured {speedup:.2}x)"
+        );
+        (legacy_elapsed.as_secs_f64(), speedup)
+    } else {
+        println!("legacy scalar loop:    pinned by DG_FORCE_UNBATCHED (whole sweep ran legacy)\n");
+        (serial_elapsed.as_secs_f64(), 0.0)
+    };
+
     let mut table = Table::new(vec![
         Column::left("VM type"),
         Column::right("vCPUs"),
@@ -165,4 +228,79 @@ fn main() {
     println!("{}", table.render());
     println!("(paper: DarwinGame stays within ~10 % of the Oracle on every VM type, with");
     println!(" CoV below 0.5 %; smaller VMs see more interference, larger ones less)");
+
+    // The machine-readable perf trajectory record (BENCH_fig15.json at the repo root
+    // is this, re-emitted in full mode whenever the hot path changes). Every timing is
+    // seconds; `campaign_fingerprint` hashes the canonical report JSON so separate
+    // processes (e.g. a DG_FORCE_UNBATCHED=1 CI run) can prove they computed the very
+    // same campaign.
+    let mut json = String::from("{");
+    let mut first = true;
+    push_key(&mut json, &mut first, "bench");
+    push_str_literal(&mut json, "fig15_vm_sweep");
+    push_key(&mut json, &mut first, "mode");
+    push_str_literal(&mut json, if smoke { "smoke" } else { "full" });
+    push_key(&mut json, &mut first, "cells");
+    json.push_str(&campaign.spec().grid_size().to_string());
+    push_key(&mut json, &mut first, "fast_path");
+    json.push_str(if fast { "true" } else { "false" });
+    push_key(&mut json, &mut first, "batched_seconds");
+    push_f64(&mut json, serial_elapsed.as_secs_f64());
+    push_key(&mut json, &mut first, "unbatched_seconds");
+    push_f64(&mut json, unbatched_seconds);
+    push_key(&mut json, &mut first, "batched_speedup");
+    push_f64(&mut json, batched_speedup);
+    push_key(&mut json, &mut first, "parallel_workers");
+    json.push_str(&workers.to_string());
+    push_key(&mut json, &mut first, "parallel_seconds");
+    push_f64(&mut json, parallel_elapsed.as_secs_f64());
+    push_key(&mut json, &mut first, "record_seconds");
+    push_f64(&mut json, record_elapsed.as_secs_f64());
+    push_key(&mut json, &mut first, "replay_seconds");
+    push_f64(&mut json, replay_elapsed.as_secs_f64());
+    push_key(&mut json, &mut first, "trace_events");
+    json.push_str(&trace_events.to_string());
+    push_key(&mut json, &mut first, "campaign_fingerprint");
+    json.push_str(&fnv1a(&serial_report.to_json()).to_string());
+    push_key(&mut json, &mut first, "vms");
+    json.push('[');
+    for (i, (group, vm)) in parallel_report
+        .groups
+        .iter()
+        .zip(VmType::ALL.iter())
+        .enumerate()
+    {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push('{');
+        let mut first = true;
+        push_key(&mut json, &mut first, "vm");
+        push_str_literal(&mut json, &group.vm);
+        push_key(&mut json, &mut first, "vcpus");
+        json.push_str(&vm.vcpus().to_string());
+        push_key(&mut json, &mut first, "oracle_seconds");
+        push_f64(&mut json, OracleTuner::new().optimal_time(&workload, *vm));
+        push_key(&mut json, &mut first, "darwin_seconds");
+        push_f64(&mut json, group.mean_time);
+        push_key(&mut json, &mut first, "cov_percent");
+        push_f64(&mut json, group.mean_cov_percent);
+        json.push('}');
+    }
+    json.push_str("]}");
+    println!("\n{json}");
+    // Full runs refresh the pinned repo-root artifact by default; smoke runs only
+    // write when CI points them somewhere explicitly, so a quick local smoke never
+    // clobbers the committed full-mode trajectory.
+    let default_path = if smoke {
+        String::new()
+    } else {
+        // Anchor at the workspace root (cargo runs benches from the package dir).
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fig15.json").into()
+    };
+    let path = std::env::var("DG_FIG15_OUT").unwrap_or(default_path);
+    if !path.is_empty() {
+        std::fs::write(&path, &json).expect("write fig15 bench report");
+        println!("report written to {path}");
+    }
 }

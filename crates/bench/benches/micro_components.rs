@@ -8,8 +8,9 @@
 //! Run with `cargo bench --bench micro_components`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use darwin_core::{play_game, DarwinGame, GameOptions, TournamentConfig};
+use darwin_core::{play_game, play_games, DarwinGame, GameOptions, TournamentConfig};
 use dg_cloudsim::{CloudEnvironment, InterferenceProfile, SimTime, VmType};
+use dg_scenario::{ScenarioEvent, ScenarioSpec};
 use dg_tuners::GaussianProcess;
 use dg_workloads::{Application, PerformanceSurface, Workload};
 use std::hint::black_box;
@@ -34,6 +35,74 @@ fn bench_interference_sampling(c: &mut Criterion) {
             black_box(model.level(SimTime::from_seconds(t)))
         })
     });
+    // The memoizing sampler the fused game path uses: bit-identical to the boxed
+    // model above, minus the dyn dispatch and the per-epoch rehashing.
+    let sampler = InterferenceProfile::typical().sampler(42);
+    c.bench_function("interference_sampler_level", |b| {
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 13.7;
+            black_box(sampler.level_at_seconds(t))
+        })
+    });
+}
+
+fn bench_timeline_lookups(c: &mut Criterion) {
+    // A timeline with every kind of structure: shifts, storms, a diurnal curve,
+    // preemptions, and price steps — the load/price lookups sit on the scenario
+    // engine's per-operation hot path.
+    let mut spec = ScenarioSpec::new("micro");
+    spec.events = vec![
+        ScenarioEvent::LoadShift {
+            at: 500.0,
+            factor: 1.6,
+        },
+        ScenarioEvent::StormFront {
+            start: 0.0,
+            period: 400.0,
+            chance: 0.5,
+            duration: 60.0,
+            factor: 1.8,
+            windows: 24,
+        },
+        ScenarioEvent::Diurnal {
+            period: 3_600.0,
+            amplitude: 0.5,
+            phase: 0.3,
+        },
+        ScenarioEvent::Preemptions {
+            start: 0.0,
+            mean_interval: 900.0,
+            downtime: 30.0,
+            count: 8,
+        },
+        ScenarioEvent::PriceChange {
+            at: 1_000.0,
+            factor: 0.6,
+        },
+    ];
+    let timeline = spec.timeline(7);
+    c.bench_function("timeline_load_factor", |b| {
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 37.3;
+            black_box(timeline.load_factor(t))
+        })
+    });
+    c.bench_function("timeline_price_factor", |b| {
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 37.3;
+            black_box(timeline.price_factor(t))
+        })
+    });
+    c.bench_function("timeline_integrate_load_300s", |b| {
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 37.3;
+            black_box(timeline.integrate_load(t, t + 300.0))
+        })
+    });
 }
 
 fn bench_single_game(c: &mut Criterion) {
@@ -47,6 +116,51 @@ fn bench_single_game(c: &mut Criterion) {
                     &mut cloud,
                     &workload,
                     &configs,
+                    GameOptions::default(),
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_batched_round(c: &mut Criterion) {
+    // One tournament round (four 8-player games) evaluated game by game vs handed to
+    // the backend as a single batch: the difference is the per-round win of the
+    // batched seam (scratch reuse, hoisted lookups) on top of the fused game engine.
+    let workload = Workload::scaled(Application::Redis, 50_000);
+    let round: Vec<Vec<u64>> = (0..4)
+        .map(|g| {
+            (0..8)
+                .map(|i| ((g * 8 + i) as u64 * (workload.size() / 33)).min(workload.size() - 1))
+                .collect()
+        })
+        .collect();
+    let env = || CloudEnvironment::new(VmType::M5_8xlarge, InterferenceProfile::typical(), 3);
+    c.bench_function("round_4x8_single_games", |b| {
+        b.iter_batched(
+            env,
+            |mut cloud| {
+                for configs in &round {
+                    black_box(play_game(
+                        &mut cloud,
+                        &workload,
+                        configs,
+                        GameOptions::default(),
+                    ));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("round_4x8_batched_games", |b| {
+        b.iter_batched(
+            env,
+            |mut cloud| {
+                black_box(play_games(
+                    &mut cloud,
+                    &workload,
+                    &round,
                     GameOptions::default(),
                 ))
             },
@@ -96,7 +210,9 @@ criterion_group!(
     config = Criterion::default().sample_size(20);
     targets = bench_surface_evaluation,
         bench_interference_sampling,
+        bench_timeline_lookups,
         bench_single_game,
+        bench_batched_round,
         bench_gp_fit,
         bench_small_tournament
 );

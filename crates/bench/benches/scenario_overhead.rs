@@ -13,6 +13,7 @@
 //! the CI-sized workload.
 
 use dg_cloudsim::{ExecutionSpec, InterferenceProfile, VmType};
+use dg_exec::json::{push_f64, push_key, push_str_literal};
 use dg_exec::{ExecutionBackend, GameRules, SimBackend};
 use dg_scenario::{ScenarioBackend, ScenarioSpec};
 use std::time::Instant;
@@ -130,4 +131,42 @@ fn main() {
         "pass-through scenario wrapper overhead must stay under 5% (measured {overhead_percent:.2}%)"
     );
     println!("\nwrapper overhead {overhead_percent:+.2}% < 5% budget — OK");
+
+    // Machine-readable record (BENCH_scenario_overhead.json at the repo root is the
+    // committed full-mode emission). All times are best-of-repeats seconds.
+    let mut json = String::from("{");
+    let mut first = true;
+    push_key(&mut json, &mut first, "bench");
+    push_str_literal(&mut json, "scenario_overhead");
+    push_key(&mut json, &mut first, "mode");
+    push_str_literal(&mut json, if smoke { "smoke" } else { "full" });
+    push_key(&mut json, &mut first, "rounds");
+    json.push_str(&rounds.to_string());
+    push_key(&mut json, &mut first, "repeats");
+    json.push_str(&repeats.to_string());
+    push_key(&mut json, &mut first, "bare_seconds");
+    push_f64(&mut json, bare_best);
+    push_key(&mut json, &mut first, "steady_seconds");
+    push_f64(&mut json, steady_best);
+    push_key(&mut json, &mut first, "active_seconds");
+    push_f64(&mut json, active_best);
+    push_key(&mut json, &mut first, "overhead_percent");
+    push_f64(&mut json, overhead_percent);
+    json.push('}');
+    println!("\n{json}");
+    let default_path = if smoke {
+        String::new()
+    } else {
+        // Anchor at the workspace root (cargo runs benches from the package dir).
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_scenario_overhead.json"
+        )
+        .into()
+    };
+    let path = std::env::var("DG_SCENARIO_OUT").unwrap_or(default_path);
+    if !path.is_empty() {
+        std::fs::write(&path, &json).expect("write scenario overhead report");
+        println!("report written to {path}");
+    }
 }

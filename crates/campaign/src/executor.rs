@@ -492,7 +492,10 @@ fn run_cell(
     let env_seed = root.derive("env").derive_index(cell.seed).seed();
     let tuner_seed = root.derive("tuner").derive_index(cell.seed).seed();
 
-    let workload = Workload::scaled(cell.application, spec.scale.space_size);
+    // Cells share one cached workload per (application, size): the surface is a pure
+    // function of those arguments and regenerating it per cell is a fixed tax on every
+    // grid cell (legacy behaviour, preserved under DG_FORCE_UNBATCHED=1).
+    let workload = Workload::scaled_cached(cell.application, spec.scale.space_size);
     // The scenario may override the cell's interference profile; the provider sees the
     // effective profile (it is what trace stream headers record and replay validates).
     let profile = cell.scenario.profile.as_ref().unwrap_or(&cell.profile);

@@ -1,8 +1,11 @@
 //! The top-level cloud and dedicated execution environments.
 
-use crate::colocation::{ColocatedRun, ColocationOutcome};
+use crate::colocation::{
+    ColocatedRun, ColocationOutcome, CONTENTION_COEFF, MEASUREMENT_NOISE_STD, PLAYER_JITTER_STD,
+};
 use crate::cost::CostTracker;
-use crate::interference::{InterferenceModel, InterferenceProfile};
+use crate::fastpath::fast_path_enabled;
+use crate::interference::{InterferenceModel, InterferenceProfile, InterferenceSampler};
 use crate::record::{RunKind, RunLog, RunRecord};
 use crate::rng::SimRng;
 use crate::spec::ExecutionSpec;
@@ -30,6 +33,61 @@ pub struct ObservedRun {
     pub elapsed: f64,
 }
 
+/// Game-termination rules for the fused fast path, mirroring the execution layer's
+/// `GameRules` (`dg-exec` owns the user-facing type; the simulator needs the same three
+/// numbers without a dependency cycle).
+///
+/// These are the game-termination rules of Fig. 5 of the paper: the game runs until the
+/// fastest player completes, or — when early termination is enabled and the leader has
+/// completed at least `min_leader_progress` of its work — until the work-done gap
+/// between the leader and the runner-up exceeds `work_done_deviation`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GameTermination {
+    /// Stop the game early when the leader is far enough ahead.
+    pub early_termination: bool,
+    /// Work-done deviation `d` that triggers early termination.
+    pub work_done_deviation: f64,
+    /// Minimum leader progress before early termination is allowed.
+    pub min_leader_progress: f64,
+}
+
+/// The outcome of a fused fast-path game ([`CloudEnvironment::play_game_fast`]):
+/// bit-identical, field for field, to the reference path that steps a boxed
+/// [`ColocatedRun`] under the same rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedPlay {
+    /// Simulated time at which the game started.
+    pub start: SimTime,
+    /// Wall-clock seconds the game occupied the node.
+    pub elapsed: f64,
+    /// Observed (or extrapolated) execution time per player, in player order.
+    pub observed_times: Vec<f64>,
+    /// Execution score per player (work done relative to the best player, in `[0, 1]`).
+    pub execution_scores: Vec<f64>,
+    /// Whether the game was stopped by the early-termination rule.
+    pub early_terminated: bool,
+}
+
+/// Reusable per-game buffers for the fused fast path: one flat `Vec<f64>` per hot
+/// per-player quantity (struct-of-arrays), cleared and refilled per game so steady-state
+/// games allocate nothing but their returned observation vectors.
+#[derive(Debug, Default)]
+struct GameScratch {
+    /// VM-scaled base time per player (the SoA split of `ExecutionSpec` that lets the
+    /// rate pass vectorise).
+    base: Vec<f64>,
+    /// Sensitivity per player.
+    sens: Vec<f64>,
+    jitter: Vec<f64>,
+    noise: Vec<f64>,
+    /// Per-step progress rate per player, refilled by the branch-free rate pass.
+    rate: Vec<f64>,
+    progress: Vec<f64>,
+    /// Finish time per player; NaN = not finished (the fast-path stand-in for
+    /// `Option<f64>` that keeps the array flat).
+    finish: Vec<f64>,
+}
+
 /// A shared, interference-prone cloud node on which tuning is performed.
 ///
 /// The environment owns a simulated wall clock, an interference model for its node, a
@@ -42,10 +100,14 @@ pub struct CloudEnvironment {
     seed: u64,
     node_seed: u64,
     model: Box<dyn InterferenceModel>,
+    /// Flat memoizing sampler of the same node signal as `model`, bit-identical to it;
+    /// the fused fast path reads interference through this instead of the box.
+    sampler: InterferenceSampler,
     clock: SimTime,
     cost: CostTracker,
     rng: SimRng,
     log: RunLog,
+    scratch: GameScratch,
 }
 
 impl std::fmt::Debug for CloudEnvironment {
@@ -67,16 +129,19 @@ impl CloudEnvironment {
         let rng = SimRng::new(seed);
         let node_seed = rng.derive("node").seed();
         let model = profile.build(node_seed);
+        let sampler = profile.sampler(node_seed);
         Self {
             vm,
             profile,
             seed,
             node_seed,
             model,
+            sampler,
             clock: SimTime::ZERO,
             cost: CostTracker::new(),
             rng: rng.derive("games"),
             log: RunLog::new(),
+            scratch: GameScratch::default(),
         }
     }
 
@@ -236,6 +301,9 @@ impl CloudEnvironment {
 
     /// Runs a single configuration alone on the node, committing its cost.
     pub fn run_single(&mut self, spec: ExecutionSpec) -> ObservedRun {
+        if fast_path_enabled() {
+            return self.run_single_fast(spec);
+        }
         let started_at = self.clock;
         let outcome = self.run_colocated_to_completion(std::slice::from_ref(&spec));
         ObservedRun {
@@ -243,6 +311,259 @@ impl CloudEnvironment {
             started_at,
             elapsed: outcome.elapsed(),
         }
+    }
+
+    /// Plays one full co-located game through the fused fast path: the same physics as
+    /// stepping a [`ColocatedRun`] under the execution layer's early-termination loop,
+    /// rewritten as a single struct-of-arrays pass per step with the memoized
+    /// [`InterferenceSampler`] and reusable scratch buffers.
+    ///
+    /// Bit-identical to the reference path in every output field and in the RNG stream
+    /// it consumes (the per-player jitter and measurement-noise draws happen in the
+    /// exact same order). The game is *uncommitted*: cost and clock are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn play_game_fast(
+        &mut self,
+        specs: &[ExecutionSpec],
+        rules: &GameTermination,
+    ) -> SimulatedPlay {
+        assert!(!specs.is_empty(), "a game needs at least one player");
+        let players = specs.len();
+        let vcpus = self.vm.vcpus();
+        let speed = self.vm.speed_factor();
+        let interference_factor = self.vm.interference_factor();
+        let start = self.clock;
+        let start_seconds = start.as_seconds();
+
+        // Per-player hot state as flat struct-of-arrays, refilled in place. The jitter
+        // draws for all players come before the noise draws, mirroring
+        // `ColocatedRun::new`; the scaled specs are split into base/sensitivity columns
+        // so the per-step rate pass is a straight-line loop over flat `f64` arrays.
+        let scratch = &mut self.scratch;
+        let rng = &mut self.rng;
+        scratch.base.clear();
+        scratch.sens.clear();
+        for spec in specs {
+            let scaled = spec.scaled(speed);
+            scratch.base.push(scaled.base_time());
+            scratch.sens.push(scaled.sensitivity());
+        }
+        scratch.jitter.clear();
+        scratch
+            .jitter
+            .extend((0..players).map(|_| rng.normal_with(1.0, PLAYER_JITTER_STD).clamp(0.6, 1.4)));
+        scratch.noise.clear();
+        scratch.noise.extend((0..players).map(|_| {
+            rng.normal_with(1.0, MEASUREMENT_NOISE_STD)
+                .clamp(0.99, 1.01)
+        }));
+        scratch.rate.clear();
+        scratch.rate.resize(players, 0.0);
+        scratch.progress.clear();
+        scratch.progress.resize(players, 0.0);
+        scratch.finish.clear();
+        scratch.finish.resize(players, f64::NAN);
+
+        let contention = CONTENTION_COEFF * (players.saturating_sub(1)) as f64 / vcpus as f64;
+        let overload = if players > vcpus {
+            players as f64 / vcpus as f64
+        } else {
+            1.0
+        };
+        let dt = scratch.base.iter().copied().fold(f64::INFINITY, f64::min) / 200.0;
+        let dt = dt.max(0.25);
+        let max_seconds = specs
+            .iter()
+            .map(ExecutionSpec::base_time)
+            .fold(0.0_f64, f64::max)
+            * MAX_RUN_MULTIPLIER;
+
+        let check_early = rules.early_termination && players > 1;
+        let mut elapsed = 0.0_f64;
+        let mut finished = 0usize;
+        let mut early_terminated = false;
+
+        while finished == 0 && elapsed < max_seconds {
+            let ambient =
+                self.sampler.level_at_seconds(start_seconds + elapsed) * interference_factor;
+            let shared = ambient + contention;
+            // Rate pass: branch-free and bounds-check-free over the SoA columns, so the
+            // compiler can vectorise the divisions (the per-step cost centre). Rates
+            // for already-finished players are computed but never consumed — while the
+            // game is still running at most one player can have finished this very
+            // step, so the waste is nil and no consumed value changes.
+            {
+                let base = &scratch.base[..players];
+                let sens = &scratch.sens[..players];
+                let jitter = &scratch.jitter[..players];
+                let noise = &scratch.noise[..players];
+                let rate = &mut scratch.rate[..players];
+                for i in 0..players {
+                    let effective = shared * jitter[i];
+                    // Identical expression shape to `ExecutionSpec::progress_rate`
+                    // composed with the noise/overload factors of the reference loop.
+                    rate[i] = 1.0 / (base[i] * (1.0 + sens[i] * effective.max(0.0))) * noise[i]
+                        / overload;
+                }
+            }
+            // Advance pass: integrate progress and interpolate finish instants.
+            for i in 0..players {
+                if scratch.finish[i].is_nan() {
+                    let rate = scratch.rate[i];
+                    let advanced = scratch.progress[i] + rate * dt;
+                    if advanced >= 1.0 {
+                        // Interpolate the exact finish instant inside this step.
+                        let remaining = 1.0 - scratch.progress[i];
+                        scratch.finish[i] = elapsed + remaining / rate;
+                        scratch.progress[i] = 1.0;
+                        finished += 1;
+                    } else {
+                        scratch.progress[i] = advanced;
+                    }
+                }
+            }
+            elapsed += dt;
+            if check_early {
+                // Top-2 work fractions for the early-termination check (leader = first
+                // strictly-greatest index, exactly like `ColocatedRun::leader`).
+                let mut best_work = f64::NEG_INFINITY;
+                let mut second_work = f64::NEG_INFINITY;
+                for &work in &scratch.progress[..players] {
+                    if work > best_work {
+                        second_work = best_work;
+                        best_work = work;
+                    } else if work > second_work {
+                        second_work = work;
+                    }
+                }
+                if best_work >= rules.min_leader_progress {
+                    // The reference path folds the runner-up from 0.0; progress is
+                    // never negative, so clamping the tracked second value reproduces
+                    // it exactly.
+                    let runner_up = second_work.max(0.0);
+                    let gap = if best_work > 0.0 {
+                        (best_work - runner_up) / best_work
+                    } else {
+                        0.0
+                    };
+                    if gap >= rules.work_done_deviation {
+                        early_terminated = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let mut observed_times = Vec::with_capacity(players);
+        for i in 0..players {
+            let finish = scratch.finish[i];
+            observed_times.push(if finish.is_nan() {
+                // Extrapolate from current progress; players that have done no work get
+                // an effectively infinite estimate.
+                let progress = scratch.progress[i];
+                if progress > 0.0 {
+                    elapsed / progress
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                finish
+            });
+        }
+        let best = observed_times.iter().copied().fold(f64::INFINITY, f64::min);
+        let execution_scores = if !best.is_finite() || best <= 0.0 {
+            vec![0.0; players]
+        } else {
+            observed_times
+                .iter()
+                .map(|t| {
+                    if t.is_finite() {
+                        (best / t).min(1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        };
+
+        SimulatedPlay {
+            start,
+            elapsed,
+            observed_times,
+            execution_scores,
+            early_terminated,
+        }
+    }
+
+    /// `run_single` through the fused scalar path; bit-identical to the reference
+    /// implementation, including the two normals it draws from the game RNG stream.
+    fn run_single_fast(&mut self, spec: ExecutionSpec) -> ObservedRun {
+        let started_at = self.clock;
+        let jitter = self.rng.normal_with(1.0, PLAYER_JITTER_STD).clamp(0.6, 1.4);
+        let noise = self
+            .rng
+            .normal_with(1.0, MEASUREMENT_NOISE_STD)
+            .clamp(0.99, 1.01);
+        let (observed_time, elapsed) = self.solo_run_fast(spec, started_at, jitter, noise);
+        self.commit_parts(1, started_at, elapsed);
+        ObservedRun {
+            observed_time,
+            started_at,
+            elapsed,
+        }
+    }
+
+    /// Runs one player alone to completion (or the run cap) with pre-drawn jitter and
+    /// noise; returns `(observed_time, elapsed)`. Shared by the committed
+    /// `run_single_fast` and the cost-free observation fast path.
+    fn solo_run_fast(
+        &self,
+        spec: ExecutionSpec,
+        start: SimTime,
+        jitter: f64,
+        noise: f64,
+    ) -> (f64, f64) {
+        let scaled = spec.scaled(self.vm.speed_factor());
+        let interference_factor = self.vm.interference_factor();
+        let start_seconds = start.as_seconds();
+        // Same formulas as the co-located engine specialised to one player: zero
+        // contention, no overload.
+        let contention = CONTENTION_COEFF * 0.0 / self.vm.vcpus() as f64;
+        let overload = 1.0;
+        let dt = (scaled.base_time() / 200.0).max(0.25);
+        let cap = self.run_cap(std::slice::from_ref(&spec));
+
+        let mut elapsed = 0.0_f64;
+        let mut progress = 0.0_f64;
+        let mut finish = f64::NAN;
+        while finish.is_nan() && elapsed < cap {
+            let ambient =
+                self.sampler.level_at_seconds(start_seconds + elapsed) * interference_factor;
+            let effective = (ambient + contention) * jitter;
+            let rate = scaled.progress_rate(effective) * noise / overload;
+            let advanced = progress + rate * dt;
+            if advanced >= 1.0 {
+                let remaining = 1.0 - progress;
+                finish = elapsed + remaining / rate;
+                progress = 1.0;
+            } else {
+                progress = advanced;
+            }
+            elapsed += dt;
+        }
+        let observed = if finish.is_nan() {
+            if progress > 0.0 {
+                elapsed / progress
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            finish
+        };
+        (observed, elapsed)
     }
 
     /// Observes a single run of `spec` starting at `start`, *without* committing cost or
@@ -256,6 +577,13 @@ impl CloudEnvironment {
         let mut rng = SimRng::new(self.node_seed)
             .derive_index(salt)
             .derive("observe");
+        if fast_path_enabled() {
+            let jitter = rng.normal_with(1.0, PLAYER_JITTER_STD).clamp(0.6, 1.4);
+            let noise = rng
+                .normal_with(1.0, MEASUREMENT_NOISE_STD)
+                .clamp(0.99, 1.01);
+            return self.solo_run_fast(spec, start, jitter, noise).0;
+        }
         let scaled = spec.scaled(self.vm.speed_factor());
         let mut run = ColocatedRun::new(
             self.vm,
@@ -464,5 +792,207 @@ mod tests {
         let mut cloud = env(8);
         cloud.set_clock(SimTime::from_seconds(100.0));
         cloud.set_clock(SimTime::from_seconds(50.0));
+    }
+
+    /// The reference game loop: a [`ColocatedRun`] stepped under the execution layer's
+    /// early-termination rules, exactly as `dg-exec::play_on` drives it. The fused fast
+    /// path must reproduce this bit for bit.
+    fn reference_game(
+        env: &mut CloudEnvironment,
+        specs: &[ExecutionSpec],
+        rules: &GameTermination,
+    ) -> SimulatedPlay {
+        let mut run = env.start_colocated(specs);
+        let step = run.default_step();
+        let max_seconds = specs
+            .iter()
+            .map(ExecutionSpec::base_time)
+            .fold(0.0_f64, f64::max)
+            * MAX_RUN_MULTIPLIER;
+        let mut early_terminated = false;
+        while !run.any_finished() && run.elapsed() < max_seconds {
+            run.step(step);
+            if rules.early_termination && specs.len() > 1 {
+                let fractions = run.work_fractions();
+                let leader = run.leader();
+                let leader_work = fractions[leader];
+                if leader_work >= rules.min_leader_progress {
+                    let runner_up = fractions
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != leader)
+                        .map(|(_, w)| *w)
+                        .fold(0.0_f64, f64::max);
+                    let gap = if leader_work > 0.0 {
+                        (leader_work - runner_up) / leader_work
+                    } else {
+                        0.0
+                    };
+                    if gap >= rules.work_done_deviation {
+                        early_terminated = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let outcome = run.into_outcome();
+        SimulatedPlay {
+            start: outcome.start_time(),
+            elapsed: outcome.elapsed(),
+            observed_times: outcome.observed_times().to_vec(),
+            execution_scores: outcome.execution_scores(),
+            early_terminated,
+        }
+    }
+
+    fn assert_plays_bit_identical(fast: &SimulatedPlay, reference: &SimulatedPlay, label: &str) {
+        assert_eq!(fast.start, reference.start, "{label}: start");
+        assert_eq!(
+            fast.elapsed.to_bits(),
+            reference.elapsed.to_bits(),
+            "{label}: elapsed"
+        );
+        assert_eq!(
+            fast.early_terminated, reference.early_terminated,
+            "{label}: early_terminated"
+        );
+        assert_eq!(
+            fast.observed_times.len(),
+            reference.observed_times.len(),
+            "{label}: player count"
+        );
+        for i in 0..fast.observed_times.len() {
+            assert_eq!(
+                fast.observed_times[i].to_bits(),
+                reference.observed_times[i].to_bits(),
+                "{label}: observed_times[{i}]"
+            );
+            assert_eq!(
+                fast.execution_scores[i].to_bits(),
+                reference.execution_scores[i].to_bits(),
+                "{label}: execution_scores[{i}]"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_game_is_bit_identical_to_reference() {
+        let rules_default = GameTermination {
+            early_termination: true,
+            work_done_deviation: 0.10,
+            min_leader_progress: 0.25,
+        };
+        let rules_playoff = GameTermination {
+            early_termination: false,
+            ..rules_default
+        };
+        for vm in VmType::ALL {
+            for profile in [
+                InterferenceProfile::typical(),
+                InterferenceProfile::heavy(),
+                InterferenceProfile::Dedicated,
+            ] {
+                for seed in [1_u64, 77] {
+                    let mut fast_env = CloudEnvironment::new(vm, profile.clone(), seed);
+                    let mut ref_env = CloudEnvironment::new(vm, profile.clone(), seed);
+                    // Several games back to back so the RNG streams must stay aligned,
+                    // with varying player counts including a batch-of-one.
+                    for (game, players) in [2_usize, 1, 8, 16, 3].into_iter().enumerate() {
+                        let specs: Vec<ExecutionSpec> = (0..players)
+                            .map(|i| {
+                                ExecutionSpec::new(
+                                    60.0 + 40.0 * i as f64,
+                                    0.1 + 0.15 * (i % 7) as f64,
+                                )
+                            })
+                            .collect();
+                        let rules = if game % 2 == 0 {
+                            rules_default
+                        } else {
+                            rules_playoff
+                        };
+                        let fast = fast_env.play_game_fast(&specs, &rules);
+                        let reference = reference_game(&mut ref_env, &specs, &rules);
+                        assert_plays_bit_identical(
+                            &fast,
+                            &reference,
+                            &format!("{vm:?}/{profile:?}/seed={seed}/game={game}"),
+                        );
+                        // Advance both clocks identically so later games differ in start.
+                        fast_env.commit_parts(specs.len(), fast.start, fast.elapsed);
+                        ref_env.commit_parts(specs.len(), reference.start, reference.elapsed);
+                        assert_eq!(fast_env.clock(), ref_env.clock());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_solo_run_is_bit_identical_to_reference() {
+        for seed in [2_u64, 13, 101] {
+            let mut fast_env = env(seed);
+            let mut ref_env = env(seed);
+            for i in 0..6 {
+                let spec = ExecutionSpec::new(50.0 + 30.0 * i as f64, 0.2 + 0.1 * i as f64);
+                let fast = fast_env.run_single_fast(spec);
+                // The reference body of `run_single`.
+                let started_at = ref_env.clock();
+                let outcome = ref_env.run_colocated_to_completion(std::slice::from_ref(&spec));
+                let reference = ObservedRun {
+                    observed_time: outcome.observed_times()[0],
+                    started_at,
+                    elapsed: outcome.elapsed(),
+                };
+                assert_eq!(
+                    fast.observed_time.to_bits(),
+                    reference.observed_time.to_bits()
+                );
+                assert_eq!(fast.elapsed.to_bits(), reference.elapsed.to_bits());
+                assert_eq!(fast.started_at, reference.started_at);
+                assert_eq!(fast_env.clock(), ref_env.clock());
+                assert_eq!(
+                    fast_env.cost().core_hours().to_bits(),
+                    ref_env.cost().core_hours().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_observation_is_bit_identical_to_reference() {
+        for seed in [3_u64, 29] {
+            let cloud = env(seed);
+            for salt in 0..5_u64 {
+                for i in 0..4 {
+                    let spec = ExecutionSpec::new(80.0 + 25.0 * i as f64, 0.3 + 0.2 * i as f64);
+                    let start = SimTime::from_seconds(500.0 * (salt + 1) as f64);
+                    // Fast path via solo_run_fast with the observe RNG stream.
+                    let mut rng = SimRng::new(cloud.node_seed)
+                        .derive_index(salt)
+                        .derive("observe");
+                    let jitter = rng.normal_with(1.0, PLAYER_JITTER_STD).clamp(0.6, 1.4);
+                    let noise = rng
+                        .normal_with(1.0, MEASUREMENT_NOISE_STD)
+                        .clamp(0.99, 1.01);
+                    let fast = cloud.solo_run_fast(spec, start, jitter, noise).0;
+                    // Reference body of `observe_single_at`.
+                    let mut ref_rng = SimRng::new(cloud.node_seed)
+                        .derive_index(salt)
+                        .derive("observe");
+                    let scaled = spec.scaled(cloud.vm.speed_factor());
+                    let mut run = ColocatedRun::new(
+                        cloud.vm,
+                        start,
+                        vec![scaled],
+                        cloud.profile.build(cloud.node_seed),
+                        &mut ref_rng,
+                    );
+                    run.run_to_completion(cloud.run_cap(std::slice::from_ref(&spec)));
+                    let reference = run.into_outcome().observed_times()[0];
+                    assert_eq!(fast.to_bits(), reference.to_bits());
+                }
+            }
+        }
     }
 }

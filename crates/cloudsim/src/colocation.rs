@@ -13,16 +13,17 @@ use crate::vm::VmType;
 use serde::{Deserialize, Serialize};
 
 /// Strength of the contention added per co-located competitor, relative to full occupancy
-/// of the VM (`contention = COEFF * (players - 1) / vcpus`).
-const CONTENTION_COEFF: f64 = 0.35;
+/// of the VM (`contention = COEFF * (players - 1) / vcpus`). Crate-visible so the fused
+/// fast path in `cloud.rs` applies the exact same physics.
+pub(crate) const CONTENTION_COEFF: f64 = 0.35;
 
 /// Standard deviation of the per-player contention jitter: some players are hurt more by
 /// their co-runners than others, which is why DarwinGame re-tests promising players in
 /// several games.
-const PLAYER_JITTER_STD: f64 = 0.15;
+pub(crate) const PLAYER_JITTER_STD: f64 = 0.15;
 
 /// Standard deviation of per-player measurement noise on the progress rate.
-const MEASUREMENT_NOISE_STD: f64 = 0.003;
+pub(crate) const MEASUREMENT_NOISE_STD: f64 = 0.003;
 
 /// Progress of one player inside a co-located run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -1,0 +1,58 @@
+//! Process-wide toggle for the batched/memoized fast execution path.
+//!
+//! The simulator ships two implementations of every hot operation: the original
+//! reference path (boxed interference models, per-pass loops, fresh allocations) and a
+//! fused fast path (flat [`crate::InterferenceSampler`], reusable scratch buffers,
+//! single-pass stepping). The two are **bit-identical** in every output — the fast path
+//! is an accounting-identical rewrite, not an approximation — so the toggle only
+//! changes speed, never results.
+//!
+//! The gate exists so benches and CI can measure both modes from one binary:
+//!
+//! * `DG_FORCE_UNBATCHED=1` in the environment starts the process with the fast path
+//!   disabled (the reference path runs everywhere);
+//! * [`set_fast_path`] flips the mode at runtime, letting a bench time both paths
+//!   in-process and assert their reports are byte-identical.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+fn flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let forced_off = std::env::var("DG_FORCE_UNBATCHED")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        AtomicBool::new(!forced_off)
+    })
+}
+
+/// True when the fused fast path should be used (the default unless
+/// `DG_FORCE_UNBATCHED=1` is set or [`set_fast_path`]`(false)` was called).
+#[inline]
+pub fn fast_path_enabled() -> bool {
+    flag().load(Ordering::Relaxed)
+}
+
+/// Enables or disables the fast path for the whole process.
+///
+/// Safe to flip at any point: both paths produce bit-identical results, so concurrent
+/// readers only ever observe a speed difference.
+pub fn set_fast_path(enabled: bool) {
+    flag().store(enabled, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggle_round_trips() {
+        let initial = fast_path_enabled();
+        set_fast_path(false);
+        assert!(!fast_path_enabled());
+        set_fast_path(true);
+        assert!(fast_path_enabled());
+        set_fast_path(initial);
+    }
+}

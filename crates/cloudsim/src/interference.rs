@@ -18,6 +18,7 @@
 use crate::rng::{hash_unit, mix};
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 
 /// A time-varying, non-negative interference level.
 ///
@@ -346,6 +347,204 @@ impl InterferenceProfile {
     }
 }
 
+/// A flattened, memoizing interference sampler for the simulator hot loop.
+///
+/// [`InterferenceProfile::build`] returns a boxed [`InterferenceModel`]; calling
+/// `level(t)` on it pays dynamic dispatch and, for the composite profiles, recomputes
+/// every component hash even though the regime/burst epochs only change every few
+/// hundred simulated seconds. `InterferenceSampler` is the same signal evaluated
+/// without the box: component parameters are flattened into one struct, pure
+/// derived values (mixed seeds, the regime weight total) are precomputed once, and
+/// the per-epoch hashes are memoized in [`Cell`]s keyed by the epoch index.
+///
+/// The sampler is **bit-identical** to the boxed model: for every profile, seed and
+/// time, `sampler.level(t).to_bits() == profile.build(seed).level(t).to_bits()`.
+/// Memoization only caches values that are pure functions of `(seed, epoch)` and the
+/// arithmetic expressions mirror the component models exactly, so no floating-point
+/// operation is reordered.
+#[derive(Debug, Clone)]
+pub struct InterferenceSampler {
+    kind: SamplerKind,
+}
+
+#[derive(Debug, Clone)]
+enum SamplerKind {
+    Constant(f64),
+    Composite(Box<CompositeSampler>),
+}
+
+#[derive(Debug, Clone)]
+struct CompositeSampler {
+    base: f64,
+    // Value-noise component (anchor hashes cached per cell index).
+    value_seed: u64,
+    value_period: f64,
+    value_amplitude: f64,
+    value_cache: Cell<Option<(u64, f64, f64)>>,
+    // Regime component (level cached per epoch; weight total precomputed in the
+    // exact summation order `weights.iter().sum()` uses).
+    regime_seed: u64,
+    regime_period: f64,
+    regime_levels: Vec<f64>,
+    regime_weights: Vec<f64>,
+    regime_total: f64,
+    regime_cache: Cell<Option<(u64, f64)>>,
+    // Burst component (burst placement cached per epoch).
+    burst_occupancy_seed: u64,
+    burst_start_seed: u64,
+    burst_period: f64,
+    burst_probability: f64,
+    burst_magnitude: f64,
+    burst_duty: f64,
+    burst_cache: Cell<Option<(u64, bool, f64)>>,
+}
+
+impl CompositeSampler {
+    fn from_model(model: &CompositeInterference) -> Self {
+        Self {
+            base: model.base,
+            value_seed: model.value.seed,
+            value_period: model.value.period,
+            value_amplitude: model.value.amplitude,
+            value_cache: Cell::new(None),
+            regime_seed: mix(model.regime.seed, 0x5eed),
+            regime_period: model.regime.period,
+            regime_levels: model.regime.levels.clone(),
+            regime_weights: model.regime.weights.clone(),
+            regime_total: model.regime.weights.iter().sum(),
+            regime_cache: Cell::new(None),
+            burst_occupancy_seed: mix(model.burst.seed, 0xb00f),
+            burst_start_seed: mix(model.burst.seed, 0xcafe),
+            burst_period: model.burst.period,
+            burst_probability: model.burst.probability,
+            burst_magnitude: model.burst.magnitude,
+            burst_duty: model.burst.duty,
+            burst_cache: Cell::new(None),
+        }
+    }
+
+    fn level(&self, seconds: f64) -> f64 {
+        // Value noise: identical expressions to `ValueNoise::level`, with the two
+        // anchor hashes (pure functions of the cell index) memoized per cell.
+        let x = seconds / self.value_period;
+        let i0 = x.floor() as u64;
+        let frac = x - x.floor();
+        let (a, b) = match self.value_cache.get() {
+            Some((cached, a, b)) if cached == i0 => (a, b),
+            _ => {
+                let a = hash_unit(self.value_seed, i0);
+                let b = hash_unit(self.value_seed, i0 + 1);
+                self.value_cache.set(Some((i0, a, b)));
+                (a, b)
+            }
+        };
+        let w = (1.0 - (std::f64::consts::PI * frac).cos()) / 2.0;
+        let value = self.value_amplitude * (a * (1.0 - w) + b * w);
+
+        // Regime noise: the drawn level is constant within an epoch, so the whole
+        // weighted walk of `RegimeNoise::regime_at` is memoized per epoch.
+        let regime_epoch = (seconds / self.regime_period).floor() as u64;
+        let regime = match self.regime_cache.get() {
+            Some((cached, level)) if cached == regime_epoch => level,
+            _ => {
+                let mut target = hash_unit(self.regime_seed, regime_epoch) * self.regime_total;
+                let mut chosen = *self
+                    .regime_levels
+                    .last()
+                    .expect("regime levels are non-empty");
+                for (level, weight) in self.regime_levels.iter().zip(self.regime_weights.iter()) {
+                    if target < *weight {
+                        chosen = *level;
+                        break;
+                    }
+                    target -= *weight;
+                }
+                self.regime_cache.set(Some((regime_epoch, chosen)));
+                chosen
+            }
+        };
+
+        // Bursts: occupancy and start offset are per-epoch draws, memoized; only the
+        // window membership test runs per call, exactly as in `BurstNoise::level`.
+        let xb = seconds / self.burst_period;
+        let burst_epoch = xb.floor() as u64;
+        let burst_frac = xb - xb.floor();
+        let (has_burst, start) = match self.burst_cache.get() {
+            Some((cached, has, start)) if cached == burst_epoch => (has, start),
+            _ => {
+                let has =
+                    hash_unit(self.burst_occupancy_seed, burst_epoch) < self.burst_probability;
+                let start = if has {
+                    hash_unit(self.burst_start_seed, burst_epoch) * (1.0 - self.burst_duty)
+                } else {
+                    0.0
+                };
+                self.burst_cache.set(Some((burst_epoch, has, start)));
+                (has, start)
+            }
+        };
+        let burst = if has_burst && burst_frac >= start && burst_frac < start + self.burst_duty {
+            self.burst_magnitude
+        } else {
+            0.0
+        };
+
+        self.base + value + regime + burst
+    }
+}
+
+impl InterferenceSampler {
+    /// Interference level at simulated time `t`; bit-identical to the boxed model.
+    #[inline]
+    pub fn level(&self, t: SimTime) -> f64 {
+        self.level_at_seconds(t.as_seconds())
+    }
+
+    /// Interference level at `seconds` of simulated time (hot-loop entry point that
+    /// skips the `SimTime` wrapper).
+    #[inline]
+    pub fn level_at_seconds(&self, seconds: f64) -> f64 {
+        match &self.kind {
+            SamplerKind::Constant(level) => *level,
+            SamplerKind::Composite(composite) => composite.level(seconds),
+        }
+    }
+}
+
+impl InterferenceProfile {
+    /// Instantiates the flattened, memoizing sampler for a node identified by `seed`.
+    ///
+    /// Bit-identical to `self.build(seed).level(t)` for every `t`; see
+    /// [`InterferenceSampler`].
+    pub fn sampler(&self, seed: u64) -> InterferenceSampler {
+        let kind = match self {
+            InterferenceProfile::Dedicated => SamplerKind::Constant(0.0),
+            InterferenceProfile::Constant(level) => {
+                SamplerKind::Constant(ConstantInterference::new(*level).level)
+            }
+            InterferenceProfile::Typical => SamplerKind::Composite(Box::new(
+                CompositeSampler::from_model(&build_composite(seed, 0.05, 0.25, 1.0, 0.9)),
+            )),
+            InterferenceProfile::Heavy => SamplerKind::Composite(Box::new(
+                CompositeSampler::from_model(&build_composite(seed, 0.15, 0.45, 2.0, 1.4)),
+            )),
+            InterferenceProfile::Custom {
+                base,
+                value_amplitude,
+                regime_scale,
+                burst_magnitude,
+            } => SamplerKind::Composite(Box::new(CompositeSampler::from_model(&build_composite(
+                seed,
+                *base,
+                *value_amplitude,
+                *regime_scale,
+                *burst_magnitude,
+            )))),
+        };
+        InterferenceSampler { kind }
+    }
+}
+
 fn build_composite(
     seed: u64,
     base: f64,
@@ -510,6 +709,46 @@ mod tests {
                 profile.mean_level(999).to_bits(),
                 "{profile:?}: mean_level must not depend on the seed"
             );
+        }
+    }
+
+    #[test]
+    fn sampler_is_bit_identical_to_boxed_model() {
+        let profiles = [
+            InterferenceProfile::Dedicated,
+            InterferenceProfile::Constant(0.37),
+            InterferenceProfile::Typical,
+            InterferenceProfile::Heavy,
+            InterferenceProfile::Custom {
+                base: 0.08,
+                value_amplitude: 0.3,
+                regime_scale: 1.5,
+                burst_magnitude: 1.1,
+            },
+        ];
+        for profile in &profiles {
+            for seed in [0, 1, 7, 99, u64::MAX / 3] {
+                let model = profile.build(seed);
+                let sampler = profile.sampler(seed);
+                // Dense sweep (sequential, cache-friendly) plus scattered jumps
+                // (cache-hostile) must both match the boxed model bit for bit.
+                for i in 0..4000 {
+                    let t = SimTime::from_seconds(i as f64 * 1.7);
+                    assert_eq!(
+                        sampler.level(t).to_bits(),
+                        model.level(t).to_bits(),
+                        "{profile:?} seed={seed} t={t:?}"
+                    );
+                }
+                for i in 0..500 {
+                    let t = SimTime::from_seconds(((i * 7919) % 100_000) as f64 * 3.1);
+                    assert_eq!(
+                        sampler.level(t).to_bits(),
+                        model.level(t).to_bits(),
+                        "{profile:?} seed={seed} scattered t={t:?}"
+                    );
+                }
+            }
         }
     }
 

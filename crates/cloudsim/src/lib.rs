@@ -39,6 +39,7 @@
 mod cloud;
 mod colocation;
 mod cost;
+mod fastpath;
 mod interference;
 mod record;
 mod rng;
@@ -46,12 +47,16 @@ mod spec;
 mod time;
 mod vm;
 
-pub use cloud::{CloudEnvironment, DedicatedEnvironment, ObservedRun, MAX_RUN_MULTIPLIER};
+pub use cloud::{
+    CloudEnvironment, DedicatedEnvironment, GameTermination, ObservedRun, SimulatedPlay,
+    MAX_RUN_MULTIPLIER,
+};
 pub use colocation::{ColocatedRun, ColocationOutcome, PlayerProgress};
 pub use cost::{CoreHours, CostDelta, CostSnapshot, CostTracker};
+pub use fastpath::{fast_path_enabled, set_fast_path};
 pub use interference::{
     BurstNoise, CompositeInterference, ConstantInterference, InterferenceModel,
-    InterferenceProfile, RegimeNoise, ValueNoise,
+    InterferenceProfile, InterferenceSampler, RegimeNoise, ValueNoise,
 };
 pub use record::{RunKind, RunLog, RunRecord};
 pub use rng::{hash_unit, mix, SimRng};

@@ -9,7 +9,7 @@
 //! play one game whose winner receives a wild-card entry into the playoffs.
 
 use crate::config::TournamentConfig;
-use crate::game::{play_game, GameOptions};
+use crate::game::{play_game, play_games, GameOptions};
 use crate::player::Player;
 use crate::score::combined_ranking;
 use dg_exec::ExecutionBackend;
@@ -107,15 +107,28 @@ pub fn run_global_phase(
         let mut winners: Vec<Player> = Vec::with_capacity(groups.len());
         let mut round_outcomes = Vec::with_capacity(groups.len());
 
+        // A round's games are independent (groups are disjoint), so the whole round
+        // goes to the backend as one batch: games still execute in group order with
+        // identical outcomes, but the backend can hoist per-round work. Deferring the
+        // score recording below until after the batch is safe for the same
+        // disjointness reason — no group's ranking inputs depend on another group's
+        // results from this round.
+        let round_games: Vec<Vec<ConfigId>> = groups
+            .iter()
+            .filter(|group| group.len() > 1)
+            .map(|group| group.iter().map(|i| players[*i].config()).collect())
+            .collect();
+        let results = play_games(exec, workload, &round_games, game_options);
+        games_played += results.len();
+        let mut results = results.into_iter();
+
         for group in &groups {
             if group.len() == 1 {
                 // A lone player advances without playing.
                 winners.push(players[group[0]].clone());
                 continue;
             }
-            let configs: Vec<ConfigId> = group.iter().map(|i| players[*i].config()).collect();
-            let result = play_game(exec, workload, &configs, game_options);
-            games_played += 1;
+            let result = results.next().expect("one result per multi-player group");
 
             // Record scores and decide the group winner by the combined ranking.
             for (slot, player_index) in group.iter().enumerate() {

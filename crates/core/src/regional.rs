@@ -88,9 +88,13 @@ pub fn run_region(
         1
     };
 
+    // Round scratch, reused so the per-round loop allocates nothing for selection.
+    let mut participants: Vec<usize> = Vec::with_capacity(players_per_game);
+    let mut configs: Vec<ConfigId> = Vec::with_capacity(players_per_game);
+
     for round in 0..rounds {
         // Select this round's participants.
-        let mut participants: Vec<usize> = Vec::with_capacity(players_per_game);
+        participants.clear();
         if round == 0 || !config.ablation.swiss_regional {
             // First round (or non-Swiss single game): random players from the pool.
             while participants.len() < players_per_game && !unplayed.is_empty() {
@@ -121,7 +125,8 @@ pub fn run_region(
             break;
         }
 
-        let configs: Vec<ConfigId> = participants.iter().map(|i| players[*i].config()).collect();
+        configs.clear();
+        configs.extend(participants.iter().map(|i| players[*i].config()));
         let result = play_game(exec, workload, &configs, game_options);
         exec.commit(&result.play);
         games_played += 1;
@@ -149,30 +154,33 @@ pub fn run_region(
     }
 
     // Decide who advances: everyone within the work-done deviation of the best player's
-    // average execution score (or only the single best, under the ablation).
-    let mut veterans: Vec<&Player> = players
-        .iter()
-        .filter(|p| p.scores().games_played() > 0)
+    // average execution score (or only the single best, under the ablation). Winners
+    // are selected by index and *moved* out of the pool — their score histories were
+    // grown in place all region long and never need copying.
+    let mut veterans: Vec<usize> = (0..players.len())
+        .filter(|i| players[*i].scores().games_played() > 0)
         .collect();
     veterans.sort_by(|a, b| {
-        b.average_execution_score()
-            .partial_cmp(&a.average_execution_score())
+        players[*b]
+            .average_execution_score()
+            .partial_cmp(&players[*a].average_execution_score())
             .expect("scores are not NaN")
-            .then(a.config().cmp(&b.config()))
+            .then(players[*a].config().cmp(&players[*b].config()))
     });
-    let winners: Vec<Player> = if veterans.is_empty() {
-        Vec::new()
+    if veterans.is_empty() {
+        // No games were played (degenerate pool): nobody advances.
     } else if config.ablation.single_regional_winner {
-        vec![veterans[0].clone()]
+        veterans.truncate(1);
     } else {
-        let best_score = veterans[0].average_execution_score();
+        let best_score = players[veterans[0]].average_execution_score();
         let threshold = best_score * (1.0 - config.work_done_deviation);
-        veterans
-            .iter()
-            .filter(|p| p.average_execution_score() >= threshold)
-            .map(|p| (*p).clone())
-            .collect()
-    };
+        veterans.retain(|i| players[*i].average_execution_score() >= threshold);
+    }
+    let mut pool: Vec<Option<Player>> = players.into_iter().map(Some).collect();
+    let winners: Vec<Player> = veterans
+        .iter()
+        .map(|i| pool[*i].take().expect("winner indices are distinct"))
+        .collect();
 
     RegionalOutcome {
         region,

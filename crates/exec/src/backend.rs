@@ -70,6 +70,15 @@ impl GamePlay {
     }
 }
 
+/// One game of a batch passed to [`ExecutionBackend::play_games_batch`]: a borrowed
+/// player roster (the batch as a whole shares the caller's spec storage, so building a
+/// round-sized batch allocates nothing per game).
+#[derive(Debug, Clone, Copy)]
+pub struct GameBatchItem<'a> {
+    /// The players of this game, in player order.
+    pub specs: &'a [ExecutionSpec],
+}
+
 /// An execution environment the tuning stack runs against.
 ///
 /// This trait captures the complete surface the engine needs from an environment — play
@@ -126,6 +135,30 @@ pub trait ExecutionBackend: Send {
     ///
     /// Panics if `specs` is empty.
     fn play_game(&mut self, specs: &[ExecutionSpec], rules: &GameRules) -> GamePlay;
+
+    /// Plays a round's worth of co-located games as one batch, in batch order, under
+    /// the same `rules`, all starting at the current clock. Nothing is committed.
+    ///
+    /// Semantically this is *exactly* `games.iter().map(|g| self.play_game(g.specs,
+    /// rules)).collect()` — the default implementation is that loop, and every override
+    /// must stay bit-identical to it in outcomes, cost accounting, clock movement, and
+    /// RNG-stream consumption (games are processed in order). Overrides exist purely
+    /// for speed: simulation backends drive the batch through a fused struct-of-arrays
+    /// pass, and wrappers hoist per-batch work out of the per-game loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any game's `specs` is empty.
+    fn play_games_batch(
+        &mut self,
+        games: &[GameBatchItem<'_>],
+        rules: &GameRules,
+    ) -> Vec<GamePlay> {
+        games
+            .iter()
+            .map(|game| self.play_game(game.specs, rules))
+            .collect()
+    }
 
     /// Evaluates a single configuration alone on the node, committing its cost and
     /// advancing the clock.

@@ -54,7 +54,7 @@ mod surrogate;
 mod tap;
 mod trace;
 
-pub use backend::{BackendProvider, ExecutionBackend, GamePlay, GameRules};
+pub use backend::{BackendProvider, ExecutionBackend, GameBatchItem, GamePlay, GameRules};
 pub use memo::MemoBackend;
 pub use process::{
     process_launches, CommandTemplate, ProcessBackend, ProcessError, ProcessProvider, TimingSource,

@@ -1,6 +1,6 @@
 //! A composable memoizing backend for solo-evaluation-heavy tuners.
 
-use crate::backend::{ExecutionBackend, GamePlay, GameRules};
+use crate::backend::{ExecutionBackend, GameBatchItem, GamePlay, GameRules};
 use dg_cloudsim::{CostTracker, ExecutionSpec, InterferenceProfile, ObservedRun, SimTime, VmType};
 use std::collections::HashMap;
 
@@ -134,6 +134,16 @@ impl ExecutionBackend for MemoBackend {
 
     fn play_game(&mut self, specs: &[ExecutionSpec], rules: &GameRules) -> GamePlay {
         self.inner.play_game(specs, rules)
+    }
+
+    fn play_games_batch(
+        &mut self,
+        games: &[GameBatchItem<'_>],
+        rules: &GameRules,
+    ) -> Vec<GamePlay> {
+        // Games are never memoised; hand the whole batch to the inner backend so its
+        // fast path applies.
+        self.inner.play_games_batch(games, rules)
     }
 
     fn run_single(&mut self, spec: ExecutionSpec) -> ObservedRun {

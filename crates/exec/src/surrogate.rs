@@ -10,7 +10,7 @@
 //! backend. Everything else falls through unchanged, so with the serving fraction at
 //! `0` the wrapper is bit-identical pass-through.
 
-use crate::backend::{ExecutionBackend, GamePlay, GameRules};
+use crate::backend::{ExecutionBackend, GameBatchItem, GamePlay, GameRules};
 use dg_cloudsim::{CostTracker, ExecutionSpec, InterferenceProfile, ObservedRun, SimTime, VmType};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -341,6 +341,15 @@ impl ExecutionBackend for SurrogateBackend {
         // Games depend on the full player set and the clock: always live, never
         // trained on (their observed times carry co-location slowdowns).
         self.inner.play_game(specs, rules)
+    }
+
+    fn play_games_batch(
+        &mut self,
+        games: &[GameBatchItem<'_>],
+        rules: &GameRules,
+    ) -> Vec<GamePlay> {
+        // Always live, like play_game; delegate the batch so the inner fast path applies.
+        self.inner.play_games_batch(games, rules)
     }
 
     fn run_single(&mut self, spec: ExecutionSpec) -> ObservedRun {

@@ -10,7 +10,7 @@
 //!
 //! [`dg-serve`]: https://docs.rs/dg-serve
 
-use crate::backend::{BackendProvider, ExecutionBackend, GamePlay, GameRules};
+use crate::backend::{BackendProvider, ExecutionBackend, GameBatchItem, GamePlay, GameRules};
 use dg_cloudsim::{CostTracker, ExecutionSpec, InterferenceProfile, ObservedRun, SimTime, VmType};
 use std::sync::{Arc, Mutex};
 
@@ -138,6 +138,22 @@ impl ExecutionBackend for TapBackend {
             self.tap.record(TapSource::Game, play.start, *time);
         }
         play
+    }
+
+    fn play_games_batch(
+        &mut self,
+        games: &[GameBatchItem<'_>],
+        rules: &GameRules,
+    ) -> Vec<GamePlay> {
+        // Delegate the whole batch (so the inner backend's fast path applies), then tap
+        // each play in batch order — the same event sequence as the per-game loop.
+        let plays = self.inner.play_games_batch(games, rules);
+        for play in &plays {
+            for time in &play.observed_times {
+                self.tap.record(TapSource::Game, play.start, *time);
+            }
+        }
+        plays
     }
 
     fn run_single(&mut self, spec: ExecutionSpec) -> ObservedRun {

@@ -3,7 +3,7 @@
 use crate::spec::ScenarioSpec;
 use crate::timeline::Timeline;
 use dg_cloudsim::{CostTracker, ExecutionSpec, InterferenceProfile, ObservedRun, SimTime, VmType};
-use dg_exec::{BackendProvider, ExecutionBackend, GamePlay, GameRules};
+use dg_exec::{BackendProvider, ExecutionBackend, GameBatchItem, GamePlay, GameRules};
 
 /// The pivot interference sensitivity for [`ScenarioSpec::load_coupling`]: a spec
 /// with exactly this sensitivity feels the nominal load factor under full coupling.
@@ -226,6 +226,50 @@ impl ScenarioBackend {
             * self.inner.vm().hourly_price_usd()
             * self.timeline.price_factor(start.as_seconds());
     }
+
+    /// Applies the timeline transforms of [`play_game`](ExecutionBackend::play_game)
+    /// to one inner play: scale each observation by the (possibly coupled) load, scale
+    /// the wall-clock, then let preemptions strike it. `load` is a batch-hoisted
+    /// `Timeline::load_factor(play.start)` — valid only for sampled-at-start scenarios
+    /// and only when the play really starts at the hoisted instant; `None` recomputes
+    /// per call. Either way the arithmetic is the exact expression the unhoisted path
+    /// evaluates, so hoisting is bit-invisible.
+    // `a = factor * a` rather than `a *= factor`: the assignments keep the exact
+    // operand order of `scaled_span`/`scaled_span_for`, which is what makes the
+    // hoisted path's bit-identity self-evident.
+    #[allow(clippy::assign_op_pattern)]
+    fn apply_scenario_to_play(
+        &mut self,
+        play: &mut GamePlay,
+        specs: &[ExecutionSpec],
+        load: Option<f64>,
+    ) {
+        let start = play.start;
+        match load {
+            Some(lf) => {
+                let c = self.spec.load_coupling;
+                if c == 0.0 {
+                    for time in play.observed_times.iter_mut() {
+                        *time = self.speed * lf * *time;
+                    }
+                } else {
+                    for (time, spec) in play.observed_times.iter_mut().zip(specs) {
+                        let exponent = (1.0 - c) + c * spec.sensitivity() / REFERENCE_SENSITIVITY;
+                        *time = self.speed * lf.powf(exponent) * *time;
+                    }
+                }
+                let scaled_elapsed = self.speed * lf * play.elapsed;
+                play.elapsed = self.preempted_span(start, scaled_elapsed);
+            }
+            None => {
+                for (time, spec) in play.observed_times.iter_mut().zip(specs) {
+                    *time = self.scaled_span_for(start, *time, spec.sensitivity());
+                }
+                let scaled_elapsed = self.scaled_span(start, play.elapsed);
+                play.elapsed = self.preempted_span(start, scaled_elapsed);
+            }
+        }
+    }
 }
 
 impl ExecutionBackend for ScenarioBackend {
@@ -260,16 +304,44 @@ impl ExecutionBackend for ScenarioBackend {
     fn play_game(&mut self, specs: &[ExecutionSpec], rules: &GameRules) -> GamePlay {
         self.sync_inner_clock();
         let mut play = self.inner.play_game(specs, rules);
-        for (time, spec) in play.observed_times.iter_mut().zip(specs) {
-            *time = self.scaled_span_for(play.start, *time, spec.sensitivity());
-        }
         // Execution scores are relative work fractions; a slowdown shared by every
         // co-located player leaves them untouched. The game's wall-clock (the thing
         // that is billed) scales machine-level: load occupies the node regardless of
         // which players were fragile enough to feel it in their observed times.
-        let scaled_elapsed = self.scaled_span(play.start, play.elapsed);
-        play.elapsed = self.preempted_span(play.start, scaled_elapsed);
+        self.apply_scenario_to_play(&mut play, specs, None);
         play
+    }
+
+    fn play_games_batch(
+        &mut self,
+        games: &[GameBatchItem<'_>],
+        rules: &GameRules,
+    ) -> Vec<GamePlay> {
+        self.sync_inner_clock();
+        let mut plays = self.inner.play_games_batch(games, rules);
+        // Uncommitted games never advance the clock, so every play in the batch starts
+        // at the same instant and one load-factor lookup serves them all — unless the
+        // scenario integrates load over each span (spans differ per play) or an exotic
+        // inner backend moved its clock mid-batch (guarded by the start check below).
+        let hoisted = if self.spec.integrate_load {
+            None
+        } else {
+            plays
+                .first()
+                .map(|p| (p.start, self.timeline.load_factor(p.start.as_seconds())))
+        };
+        for (play, game) in plays.iter_mut().zip(games) {
+            let load = match hoisted {
+                Some((t, lf)) if t.as_seconds().to_bits() == play.start.as_seconds().to_bits() => {
+                    Some(lf)
+                }
+                _ => None,
+            };
+            // Preemptions are consumed in play order, exactly as the per-game loop
+            // would consume them.
+            self.apply_scenario_to_play(play, game.specs, load);
+        }
+        plays
     }
 
     fn run_single(&mut self, spec: ExecutionSpec) -> ObservedRun {
@@ -621,6 +693,101 @@ mod tests {
             (native.observed_time * ratio).to_bits(),
             "fork 0 runs at m5.large speed, fork 1 at the root's own speed"
         );
+    }
+
+    #[test]
+    fn batched_games_are_bit_identical_to_the_per_game_loop() {
+        // Rich timelines (shift + storm + diurnal + preemptions), with and without
+        // load coupling and integrated load: the hoisted batch path must reproduce the
+        // sequential play_game loop bit for bit, including stateful preemption
+        // consumption and the shared clock.
+        let mut eventful = ScenarioSpec::new("eventful");
+        eventful.events = vec![
+            ScenarioEvent::LoadShift {
+                at: 40.0,
+                factor: 1.7,
+            },
+            ScenarioEvent::Storm {
+                at: 10.0,
+                duration: 120.0,
+                factor: 1.4,
+            },
+            ScenarioEvent::Diurnal {
+                period: 300.0,
+                amplitude: 0.6,
+                phase: 0.2,
+            },
+            ScenarioEvent::Preemptions {
+                start: 0.0,
+                mean_interval: 90.0,
+                downtime: 12.0,
+                count: 12,
+            },
+        ];
+        let mut coupled = eventful.clone();
+        coupled.name = "eventful-coupled".into();
+        coupled.load_coupling = 0.8;
+        let mut integrated = eventful.clone().with_integrated_load();
+        integrated.name = "eventful-integrated".into();
+
+        for scenario in [eventful, coupled, integrated] {
+            let mut looped = wrapped(scenario.clone(), 21);
+            let mut batched = wrapped(scenario, 21);
+            let spec_sets: [&[ExecutionSpec]; 3] = [
+                &[
+                    ExecutionSpec::new(100.0, 0.3),
+                    ExecutionSpec::new(160.0, 0.9),
+                ],
+                &[ExecutionSpec::new(80.0, 0.12)],
+                &[
+                    ExecutionSpec::new(140.0, 1.1),
+                    ExecutionSpec::new(90.0, 0.5),
+                    ExecutionSpec::new(120.0, 0.7),
+                ],
+            ];
+            let rules = GameRules::default();
+            for round in 0..3 {
+                let expected: Vec<GamePlay> = spec_sets
+                    .iter()
+                    .map(|specs| looped.play_game(specs, &rules))
+                    .collect();
+                let items: Vec<GameBatchItem<'_>> = spec_sets
+                    .iter()
+                    .map(|specs| GameBatchItem { specs })
+                    .collect();
+                let got = batched.play_games_batch(&items, &rules);
+                for (a, b) in expected.iter().zip(&got) {
+                    assert_eq!(
+                        a.start.as_seconds().to_bits(),
+                        b.start.as_seconds().to_bits()
+                    );
+                    assert_eq!(a.elapsed.to_bits(), b.elapsed.to_bits(), "round {round}");
+                    assert_eq!(
+                        a.observed_times
+                            .iter()
+                            .map(|t| t.to_bits())
+                            .collect::<Vec<_>>(),
+                        b.observed_times
+                            .iter()
+                            .map(|t| t.to_bits())
+                            .collect::<Vec<_>>(),
+                    );
+                    assert_eq!(a.execution_scores, b.execution_scores);
+                    assert_eq!(a.early_terminated, b.early_terminated);
+                }
+                // Commit the round on both sides so later batches start mid-timeline.
+                looped.commit_parallel(&expected);
+                batched.commit_parallel(&got);
+            }
+            assert_eq!(
+                looped.clock().as_seconds().to_bits(),
+                batched.clock().as_seconds().to_bits()
+            );
+            assert_eq!(
+                looped.billed_dollars().to_bits(),
+                batched.billed_dollars().to_bits()
+            );
+        }
     }
 
     #[test]

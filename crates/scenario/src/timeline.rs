@@ -2,6 +2,16 @@
 
 use crate::spec::{ScenarioEvent, ScenarioSpec};
 use dg_cloudsim::{hash_unit, mix};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Scratch for [`Timeline::integrate_load`]'s piece boundaries. Integrated-load
+    /// scenarios call it once per observed time on the hot game path; reusing one
+    /// per-thread buffer keeps that path allocation-free after warm-up. (It cannot
+    /// live on `Timeline` itself: the timeline derives `Clone + PartialEq` and is
+    /// shared immutably.)
+    static CUTS: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A storm interval: `[at, at + duration)` multiplies observed times by `factor`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -172,27 +182,32 @@ impl Timeline {
         if end.partial_cmp(&start) != Some(std::cmp::Ordering::Greater) {
             return 0.0;
         }
-        let mut cuts = vec![start, end];
-        for (at, _) in &self.shifts {
-            if *at > start && *at < end {
-                cuts.push(*at);
-            }
-        }
-        for storm in &self.storms {
-            for edge in [storm.at, storm.at + storm.duration] {
-                if edge > start && edge < end {
-                    cuts.push(edge);
+        CUTS.with(|scratch| {
+            let mut cuts = scratch.borrow_mut();
+            cuts.clear();
+            cuts.push(start);
+            cuts.push(end);
+            for (at, _) in &self.shifts {
+                if *at > start && *at < end {
+                    cuts.push(*at);
                 }
             }
-        }
-        cuts.sort_by(|a, b| a.total_cmp(b));
-        cuts.dedup();
-        let mut total = 0.0;
-        for piece in cuts.windows(2) {
-            let (a, b) = (piece[0], piece[1]);
-            total += self.step_factor(0.5 * (a + b)) * self.diurnal_integral(a, b);
-        }
-        total
+            for storm in &self.storms {
+                for edge in [storm.at, storm.at + storm.duration] {
+                    if edge > start && edge < end {
+                        cuts.push(edge);
+                    }
+                }
+            }
+            cuts.sort_by(|a, b| a.total_cmp(b));
+            cuts.dedup();
+            let mut total = 0.0;
+            for piece in cuts.windows(2) {
+                let (a, b) = (piece[0], piece[1]);
+                total += self.step_factor(0.5 * (a + b)) * self.diurnal_integral(a, b);
+            }
+            total
+        })
     }
 
     /// The piecewise-constant part of the load factor at `t`: shifts times storms.

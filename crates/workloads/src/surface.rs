@@ -324,18 +324,16 @@ impl SyntheticSurface {
     }
 }
 
-impl PerformanceSurface for SyntheticSurface {
-    fn space(&self) -> &ParameterSpace {
-        &self.space
-    }
-
-    fn base_time(&self, id: ConfigId) -> f64 {
-        let normalized = self.normalized_time(id);
+impl SyntheticSurface {
+    /// Execution time at a given normalised position (the shared tail of
+    /// [`PerformanceSurface::base_time`]).
+    fn time_from_normalized(&self, normalized: f64) -> f64 {
         self.config.best_time + (self.config.worst_time - self.config.best_time) * normalized
     }
 
-    fn sensitivity(&self, id: ConfigId) -> f64 {
-        let normalized = self.normalized_time(id);
+    /// Sensitivity at a given normalised position (the shared tail of
+    /// [`PerformanceSurface::sensitivity`]).
+    fn sensitivity_from_normalized(&self, id: ConfigId, normalized: f64) -> f64 {
         let base = self.config.max_sensitivity
             - (self.config.max_sensitivity - self.config.min_sensitivity) * normalized;
         // Multiplicative noise decorrelates sensitivity from pure speed.
@@ -359,6 +357,31 @@ impl PerformanceSurface for SyntheticSurface {
             sensitivity *= 0.03;
         }
         sensitivity.clamp(0.015, 1.4)
+    }
+}
+
+impl PerformanceSurface for SyntheticSurface {
+    fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    fn base_time(&self, id: ConfigId) -> f64 {
+        self.time_from_normalized(self.normalized_time(id))
+    }
+
+    fn sensitivity(&self, id: ConfigId) -> f64 {
+        self.sensitivity_from_normalized(id, self.normalized_time(id))
+    }
+
+    fn spec(&self, id: ConfigId) -> ExecutionSpec {
+        // `normalized_time` (a CDF lookup plus `powf`) dominates the cost of a spec
+        // lookup and is shared by both components; evaluate it once. Same pure value
+        // either way, so the spec is bit-identical to the default two-pass method.
+        let normalized = self.normalized_time(id);
+        ExecutionSpec::new(
+            self.time_from_normalized(normalized),
+            self.sensitivity_from_normalized(id, normalized),
+        )
     }
 }
 
