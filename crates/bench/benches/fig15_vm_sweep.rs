@@ -13,8 +13,8 @@
 //! grid to a CI-sized smoke sweep (used by the `replay-smoke` CI job).
 
 use dg_campaign::{
-    default_workers, Campaign, CampaignReport, CampaignSpec, ExecutionTrace, ExperimentScale,
-    ShardPlan, ShardReport, ShardStrategy,
+    default_workers, Campaign, CampaignReport, CampaignSpec, ExecutionTrace, ShardPlan,
+    ShardReport, ShardStrategy,
 };
 use dg_cloudsim::{fast_path_enabled, set_fast_path, VmType};
 use dg_exec::json::{fnv1a, push_f64, push_key, push_str_literal};
@@ -25,20 +25,9 @@ use dg_workloads::{Application, Workload};
 use std::time::Instant;
 
 fn sweep_spec() -> CampaignSpec {
-    let mut spec = CampaignSpec::single("fig15-vm-sweep", "DarwinGame", 2);
-    spec.vm_types = VmType::ALL.to_vec();
-    spec.scale = if std::env::var("DG_FIG15_SMOKE").is_ok() {
-        // CI-sized variant: same grid shape, tiny per-cell work.
-        ExperimentScale::smoke()
-    } else {
-        ExperimentScale {
-            space_size: 60_000,
-            regions: 96,
-            ..ExperimentScale::default_scale()
-        }
-    };
-    spec.base_seed = 80;
-    spec
+    // Shared with the `obs_overhead` bench, which gates its overhead measurement on
+    // this exact sweep and proves it via the report fingerprint.
+    dg_bench::fig15_sweep_spec(std::env::var("DG_FIG15_SMOKE").is_ok())
 }
 
 /// Runs the serial sweep `reps` times and keeps the fastest wall-clock (the runs are

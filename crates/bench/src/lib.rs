@@ -13,6 +13,9 @@
 #![warn(missing_docs)]
 
 mod harness;
+mod sweeps;
+
+pub use sweeps::fig15_sweep_spec;
 
 pub use harness::{
     darwin_config, evaluate_choice, measure_interference_trace, oracle_reference, run_baseline,

@@ -1,0 +1,31 @@
+//! Campaign grids shared between bench targets.
+//!
+//! A bench that gates one measurement against another's pinned artifact must run the
+//! *identical* campaign — same name, axes, scale, and seeds — so the two processes
+//! can prove it via the report fingerprint. The grids live here instead of being
+//! copy-pasted per bench.
+
+use dg_campaign::{CampaignSpec, ExperimentScale};
+use dg_cloudsim::VmType;
+
+/// The Figure 15 VM-sweep grid: Redis tuned with DarwinGame on every VM type of the
+/// paper's sweep, two seeds per VM — a 16-cell campaign. Used by `fig15_vm_sweep`
+/// (the pinned perf trajectory, `BENCH_fig15.json`) and `obs_overhead` (which gates
+/// the observability overhead on this exact sweep, proving via the report
+/// fingerprint that it measured the same campaign).
+pub fn fig15_sweep_spec(smoke: bool) -> CampaignSpec {
+    let mut spec = CampaignSpec::single("fig15-vm-sweep", "DarwinGame", 2);
+    spec.vm_types = VmType::ALL.to_vec();
+    spec.scale = if smoke {
+        // CI-sized variant: same grid shape, tiny per-cell work.
+        ExperimentScale::smoke()
+    } else {
+        ExperimentScale {
+            space_size: 60_000,
+            regions: 96,
+            ..ExperimentScale::default_scale()
+        }
+    };
+    spec.base_seed = 80;
+    spec
+}

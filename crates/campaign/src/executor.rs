@@ -21,6 +21,7 @@ use dg_exec::{
     BackendProvider, ExecutionTrace, SimProvider, SurrogateBackend, SurrogateStats, TraceError,
     TraceRecorder, TraceReplayer,
 };
+use dg_obs::{emit_with, ObsEvent};
 use dg_scenario::ScenarioBackend;
 use dg_tuners::{TunerRegistry, TuningBudget};
 use dg_workloads::Workload;
@@ -57,6 +58,10 @@ pub fn register_darwin_variant(
         Box::new(DarwinGame::new(config))
     });
 }
+
+/// The per-cell completion callback [`Campaign::execute`] drives: the finished cell
+/// plus its claim sequence (its 0-based position in schedule order).
+type CellCallback<'a> = &'a (dyn Fn(&CellResult, u64) + Sync);
 
 /// A campaign ready to run: a validated spec plus the tuner registry resolving its
 /// tuner axis.
@@ -360,11 +365,17 @@ impl Campaign {
         }
         let loaded_cells = on_disk.len();
         let fresh_cells = missing.len();
+        emit_with(|| ObsEvent::LabSession {
+            campaign: self.spec.name.clone(),
+            loaded: loaded_cells,
+            fresh: fresh_cells,
+            discarded: discarded_cells,
+        });
         if !missing.is_empty() {
             // Workers flush from their own threads; only the first flush error is
             // kept (later ones are almost certainly the same full disk).
             let flush_error: Mutex<Option<LabError>> = Mutex::new(None);
-            let flush = |result: &CellResult| {
+            let flush = |result: &CellResult, _cell_seq: u64| {
                 if let Err(error) = lab.flush_cell(result) {
                     let mut slot = flush_error.lock().expect("flush error lock poisoned");
                     if slot.is_none() {
@@ -396,6 +407,15 @@ impl Campaign {
     /// each cell completes — the campaign lab uses it to flush results to disk before
     /// the run finishes, so an interrupted run loses at most the cells in flight.
     ///
+    /// The callback's second argument is the cell's **claim sequence**: the value of
+    /// the shared cursor when a worker claimed the cell, i.e. its 0-based position in
+    /// schedule order. Completion (and therefore callback) order is racy across
+    /// workers, but the claim sequence is identical for every worker count, so a
+    /// progress stream sorted by it reproduces the single-worker sequence exactly.
+    /// The executor also emits `campaign_start` / `cell_start` / `cell_finish` /
+    /// `campaign_finish` events through `dg-obs` (a no-op unless observability is
+    /// active), stamping cell events with the same claim sequence.
+    ///
     /// # Panics
     ///
     /// Panics if `workers == 0`.
@@ -405,7 +425,7 @@ impl Campaign {
         cells: &[CellCoord],
         workers: usize,
         max_core_hours: Option<f64>,
-        on_cell: Option<&(dyn Fn(&CellResult) + Sync)>,
+        on_cell: Option<CellCallback<'_>>,
     ) -> (Vec<CellResult>, bool) {
         assert!(workers > 0, "at least one worker is required");
         let scheduled = cells.len();
@@ -414,6 +434,14 @@ impl Campaign {
         let spent_core_hours = Mutex::new(0.0_f64);
         let slots: Vec<Mutex<Option<CellResult>>> =
             (0..scheduled).map(|_| Mutex::new(None)).collect();
+        emit_with(|| ObsEvent::CampaignStart {
+            campaign: self.spec.name.clone(),
+            cells: scheduled,
+            total_cost: cells
+                .iter()
+                .map(|cell| self.spec.budget_for(&cell.tuner) as f64)
+                .sum(),
+        });
 
         let worker_loop = || loop {
             if stop.load(Ordering::SeqCst) {
@@ -423,9 +451,26 @@ impl Campaign {
             if i >= scheduled {
                 break;
             }
+            let cell_seq = i as u64;
+            emit_with(|| ObsEvent::CellStart {
+                campaign: self.spec.name.clone(),
+                cell_seq,
+                index: cells[i].index,
+                tuner: cells[i].tuner.clone(),
+                vm: cells[i].vm.name().to_string(),
+                est_cost: self.spec.budget_for(&cells[i].tuner) as f64,
+            });
             let result = run_cell(provider, &self.spec, &self.registry, &cells[i]);
+            emit_with(|| ObsEvent::CellFinish {
+                campaign: self.spec.name.clone(),
+                cell_seq,
+                index: result.index,
+                core_hours: result.core_hours,
+                mean_time: result.mean_time,
+                failed: result.failure.is_some(),
+            });
             if let Some(callback) = on_cell {
-                callback(&result);
+                callback(&result, cell_seq);
             }
             let hours = result.core_hours;
             *slots[i].lock().expect("cell slot poisoned") = Some(result);
@@ -459,7 +504,13 @@ impl Campaign {
             .into_iter()
             .filter_map(|slot| slot.into_inner().expect("cell slot poisoned"))
             .collect();
-        (completed, stop.load(Ordering::SeqCst))
+        let stopped = stop.load(Ordering::SeqCst);
+        emit_with(|| ObsEvent::CampaignFinish {
+            campaign: self.spec.name.clone(),
+            completed: completed.len(),
+            stopped,
+        });
+        (completed, stopped)
     }
 }
 

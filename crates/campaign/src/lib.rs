@@ -49,6 +49,7 @@
 
 mod executor;
 mod lab;
+mod progress;
 mod report;
 mod retune;
 mod scale;
@@ -59,6 +60,7 @@ pub use dg_exec::{BackendProvider, ExecutionTrace, SurrogateConfig, TraceError};
 pub use dg_scenario::{ScenarioBackend, ScenarioEvent, ScenarioProvider, ScenarioSpec};
 pub use executor::{default_workers, register_darwin_variant, standard_registry, Campaign};
 pub use lab::{CampaignLab, LabError, LabOutcome};
+pub use progress::{cell_cost_estimates, ProgressMeter, ProgressUpdate};
 pub use report::{CampaignReport, CellResult, GroupSummary};
 pub use retune::{
     RetuneCellCoord, RetuneCellResult, RetunePolicy, RetuneReport, RetuneScenarioSummary,

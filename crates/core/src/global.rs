@@ -13,6 +13,7 @@ use crate::game::{play_game, play_games, GameOptions};
 use crate::player::Player;
 use crate::score::combined_ranking;
 use dg_exec::ExecutionBackend;
+use dg_obs::{emit_with, ObsEvent};
 use dg_workloads::{ConfigId, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -120,6 +121,11 @@ pub fn run_global_phase(
             .collect();
         let results = play_games(exec, workload, &round_games, game_options);
         games_played += results.len();
+        emit_with(|| ObsEvent::Round {
+            phase: "global".into(),
+            round: rounds - 1,
+            games: results.len(),
+        });
         let mut results = results.into_iter();
 
         for group in &groups {

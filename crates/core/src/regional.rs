@@ -14,6 +14,7 @@ use crate::game::{play_game, GameOptions};
 use crate::player::Player;
 use dg_cloudsim::{CostTracker, SimRng};
 use dg_exec::ExecutionBackend;
+use dg_obs::{emit_with, ObsEvent};
 use dg_workloads::{ConfigId, IndexPartition, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -130,6 +131,11 @@ pub fn run_region(
         let result = play_game(exec, workload, &configs, game_options);
         exec.commit(&result.play);
         games_played += 1;
+        emit_with(|| ObsEvent::Round {
+            phase: "regional".into(),
+            round,
+            games: 1,
+        });
 
         for (slot, player_index) in participants.iter().enumerate() {
             players[*player_index]

@@ -8,6 +8,7 @@ use crate::regional::run_regional_phase;
 use crate::report::{PhaseSummary, TournamentReport};
 use dg_cloudsim::{CostTracker, SimRng};
 use dg_exec::ExecutionBackend;
+use dg_obs::Span;
 use dg_tuners::{Tuner, TuningBudget, TuningOutcome};
 use dg_workloads::{IndexPartition, Workload};
 
@@ -80,6 +81,7 @@ impl DarwinGame {
 
         // -------- Phase I: regional (Swiss style) --------
         let (entrants, regional_cost, regional_games) = if config.ablation.regional_phase {
+            let _span = Span::enter("phase.regional");
             let (outcomes, cost) = run_regional_phase(workload, &partition, offset, exec, config);
             let games = outcomes.iter().map(|o| o.games_played).sum();
             let players: Vec<Player> = outcomes.into_iter().flat_map(|o| o.winners).collect();
@@ -112,14 +114,20 @@ impl DarwinGame {
 
         // -------- Phase II: global (double elimination) --------
         let global_start = exec.cost().snapshot();
-        let global = run_global_phase(exec, workload, entrants, config);
+        let global = {
+            let _span = Span::enter("phase.global");
+            run_global_phase(exec, workload, entrants, config)
+        };
         let global_core_hours = global_start.delta(exec.cost()).core_hours;
 
         // -------- Phases III & IV: playoffs (barrage) and final --------
         let playoff_players = global.playoff_players();
         let playoff_entrants = playoff_players.len();
         let playoffs_start = exec.cost().snapshot();
-        let playoffs = run_playoffs(exec, workload, playoff_players, config);
+        let playoffs = {
+            let _span = Span::enter("phase.playoffs");
+            run_playoffs(exec, workload, playoff_players, config)
+        };
         let playoffs_core_hours = playoffs_start.delta(exec.cost()).core_hours;
 
         let main_delta = main_start.delta(exec.cost());

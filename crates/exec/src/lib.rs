@@ -46,16 +46,22 @@
 #![warn(missing_docs)]
 
 mod backend;
-pub mod json;
 mod memo;
+mod obs;
 mod process;
 mod sim;
 mod surrogate;
 mod tap;
 mod trace;
 
+/// The canonical JSON writer/parser, re-exported from `dg-obs` (where it moved so
+/// observability exports share the discipline). The long-standing `dg_exec::json`
+/// path keeps working.
+pub use dg_obs::json;
+
 pub use backend::{BackendProvider, ExecutionBackend, GameBatchItem, GamePlay, GameRules};
 pub use memo::MemoBackend;
+pub use obs::{ObsBackend, ObsProvider};
 pub use process::{
     process_launches, CommandTemplate, ProcessBackend, ProcessError, ProcessProvider, TimingSource,
 };

@@ -9,6 +9,20 @@ fn spec_key(spec: &ExecutionSpec) -> (u64, u64) {
     (spec.base_time().to_bits(), spec.sensitivity().to_bits())
 }
 
+/// Process-wide mirrors of the per-instance hit/miss counts, so a
+/// [`MetricsSnapshot`](dg_obs::MetricsSnapshot) sees memoization across every
+/// backend instance without holding any of them.
+fn memo_counters() -> &'static (dg_obs::Counter, dg_obs::Counter) {
+    static COUNTERS: std::sync::OnceLock<(dg_obs::Counter, dg_obs::Counter)> =
+        std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        (
+            dg_obs::metrics::counter("exec.memo_hits"),
+            dg_obs::metrics::counter("exec.memo_misses"),
+        )
+    })
+}
+
 /// An [`ExecutionBackend`] wrapper that memoizes evaluations, for the
 /// exhaustive/oracle/grid-heavy paths that ask the environment about the same
 /// configuration over and over.
@@ -150,6 +164,7 @@ impl ExecutionBackend for MemoBackend {
         let key = self.solo_key(&spec);
         if let Some(&(observed_time, elapsed)) = self.solo.get(&key) {
             self.hits += 1;
+            memo_counters().0.increment();
             let started_at = self.inner.clock();
             // Charge exactly what the original run cost, through the same commit path
             // a live evaluation uses, so budgets and clocks keep advancing.
@@ -167,6 +182,7 @@ impl ExecutionBackend for MemoBackend {
             };
         }
         self.misses += 1;
+        memo_counters().1.increment();
         let run = self.inner.run_single(spec);
         self.solo.insert(key, (run.observed_time, run.elapsed));
         run
@@ -177,9 +193,11 @@ impl ExecutionBackend for MemoBackend {
         let key = (b, s, start.as_seconds().to_bits(), salt);
         if let Some(&time) = self.observations.get(&key) {
             self.hits += 1;
+            memo_counters().0.increment();
             return time;
         }
         self.misses += 1;
+        memo_counters().1.increment();
         let time = self.inner.observe_single_at(spec, start, salt);
         self.observations.insert(key, time);
         time

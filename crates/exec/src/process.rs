@@ -42,15 +42,18 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How often a waiting backend polls a child process for completion.
 const POLL_INTERVAL: Duration = Duration::from_millis(2);
 
-/// Process-wide count of OS processes launched by [`ProcessBackend`]s.
-static PROCESS_LAUNCHES: AtomicU64 = AtomicU64::new(0);
+/// The registry counter behind [`process_launches`]: `exec.process_launches` in the
+/// `dg-obs` metrics registry.
+fn process_launches_counter() -> &'static dg_obs::Counter {
+    static COUNTER: std::sync::OnceLock<dg_obs::Counter> = std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| dg_obs::metrics::counter("exec.process_launches"))
+}
 
 /// Number of OS processes launched so far by every [`ProcessBackend`] in this process.
 ///
@@ -60,7 +63,7 @@ static PROCESS_LAUNCHES: AtomicU64 = AtomicU64::new(0);
 /// replay launch anything?") are fleet-wide. Read it before and after an operation
 /// and compare.
 pub fn process_launches() -> u64 {
-    PROCESS_LAUNCHES.load(Ordering::SeqCst)
+    process_launches_counter().value()
 }
 
 /// The failure modes a real process evaluation can hit, each latched by the backend
@@ -343,7 +346,7 @@ impl ProcessBackend {
             .stderr(Stdio::from(stderr))
             .spawn()
             .map_err(io_error)?;
-        PROCESS_LAUNCHES.fetch_add(1, Ordering::SeqCst);
+        process_launches_counter().increment();
         Ok(LaunchedJob {
             child,
             job_dir,

@@ -5,11 +5,15 @@ use dg_cloudsim::{fast_path_enabled, GameTermination, MAX_RUN_MULTIPLIER};
 use dg_cloudsim::{
     CloudEnvironment, CostTracker, ExecutionSpec, InterferenceProfile, ObservedRun, SimTime, VmType,
 };
-use std::cell::Cell;
+use dg_obs::Counter;
+use std::sync::OnceLock;
 
-thread_local! {
-    /// Per-thread count of simulator operations executed by simulation-backed backends.
-    static SIM_OPS: Cell<u64> = const { Cell::new(0) };
+/// The registry counter behind [`sim_ops`]: `exec.sim_ops` in the `dg-obs` metrics
+/// registry, cached so the per-operation cost stays one atomic add plus a
+/// thread-local add.
+fn sim_ops_counter() -> &'static Counter {
+    static COUNTER: OnceLock<Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| dg_obs::metrics::counter("exec.sim_ops"))
 }
 
 /// Number of simulator operations (games, solo runs, observations) performed so far
@@ -17,15 +21,16 @@ thread_local! {
 ///
 /// Replay backends never touch the simulator, so replaying on this thread (e.g. a
 /// single-worker campaign replay, which runs on the caller's thread) leaves the
-/// counter unchanged — the property the record/replay tests pin. The counter is
-/// thread-local so concurrent tests (or campaign workers) cannot perturb each other's
-/// readings; sum it across workers yourself if you need a fleet-wide figure.
+/// counter unchanged — the property the record/replay tests pin. The reading is
+/// per-thread so concurrent tests (or campaign workers) cannot perturb each other;
+/// the process-wide total is the `exec.sim_ops` counter in a
+/// [`MetricsSnapshot`](dg_obs::MetricsSnapshot).
 pub fn sim_ops() -> u64 {
-    SIM_OPS.with(Cell::get)
+    sim_ops_counter().thread_value()
 }
 
 fn count_sim_op() {
-    SIM_OPS.with(|ops| ops.set(ops.get() + 1));
+    sim_ops_counter().increment();
 }
 
 /// Plays one game on a concrete [`CloudEnvironment`], stepping the co-located run and

@@ -17,6 +17,22 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Process-wide mirrors of every [`SurrogateStats`] family, in serving order
+/// (`model_solo`, `model_observations`, `real_solo`), so a
+/// [`MetricsSnapshot`](dg_obs::MetricsSnapshot) sees surrogate serving across all
+/// campaign cells without holding their per-cell handles.
+fn surrogate_counters() -> &'static (dg_obs::Counter, dg_obs::Counter, dg_obs::Counter) {
+    static COUNTERS: std::sync::OnceLock<(dg_obs::Counter, dg_obs::Counter, dg_obs::Counter)> =
+        std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        (
+            dg_obs::metrics::counter("exec.surrogate_model_solo"),
+            dg_obs::metrics::counter("exec.surrogate_model_observations"),
+            dg_obs::metrics::counter("exec.surrogate_real_solo"),
+        )
+    })
+}
+
 /// Knobs of a [`SurrogateBackend`]: how aggressively to serve from the model and how
 /// much evidence a tuple needs before the model is trusted.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -363,6 +379,7 @@ impl ExecutionBackend for SurrogateBackend {
                 self.config.fraction,
             ) {
                 self.stats.model_solo.fetch_add(1, Ordering::Relaxed);
+                surrogate_counters().0.increment();
                 // Model-served: no inner call, no cost, no clock advance.
                 return ObservedRun {
                     observed_time,
@@ -373,6 +390,7 @@ impl ExecutionBackend for SurrogateBackend {
         }
         let run = self.inner.run_single(spec);
         self.stats.real_solo.fetch_add(1, Ordering::Relaxed);
+        surrogate_counters().2.increment();
         self.train(&spec, run.observed_time, run.elapsed);
         run
     }
@@ -390,6 +408,7 @@ impl ExecutionBackend for SurrogateBackend {
                 self.stats
                     .model_observations
                     .fetch_add(1, Ordering::Relaxed);
+                surrogate_counters().1.increment();
                 return observed_time;
             }
         }

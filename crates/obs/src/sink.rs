@@ -1,0 +1,294 @@
+//! The global event bus and the pluggable sinks it feeds.
+//!
+//! Instrumented code calls [`emit_with`] with a closure; when the process is
+//! *active* — the [`gate`](crate::obs_enabled) is on **and** at least one sink is
+//! installed — the closure builds the event, the bus stamps it with a process-wide
+//! monotone sequence id, and every installed [`EventSink`] receives the record. When
+//! inactive the call is one relaxed atomic load: the closure never runs, nothing
+//! allocates, and the instrumented code is indistinguishable from bare code.
+//!
+//! Two sinks ship here: [`JsonlSink`] appends each record as one canonical-JSON line
+//! to a file, and [`RingSink`] keeps the most recent records in a bounded in-memory
+//! ring (counting what it dropped) for tests, benches, and live progress consumers.
+
+use crate::event::{ObsEvent, ObsRecord};
+use crate::gate::obs_enabled;
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A consumer of emitted records. Implementations must tolerate concurrent calls
+/// from multiple worker threads.
+pub trait EventSink: Send + Sync {
+    /// Receives one emitted record.
+    fn record(&self, record: &ObsRecord);
+}
+
+/// Handle returned by [`install_sink`]; pass it to [`remove_sink`] to detach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkId(u64);
+
+static SINKS: RwLock<Vec<(SinkId, Arc<dyn EventSink>)>> = RwLock::new(Vec::new());
+static NEXT_SINK: AtomicU64 = AtomicU64::new(0);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Recomputes the cached activity flag; called whenever the gate flips or the sink
+/// set changes, so the hot path stays a single relaxed load.
+pub(crate) fn refresh_active() {
+    let has_sinks = !SINKS.read().expect("sink registry poisoned").is_empty();
+    ACTIVE.store(obs_enabled() && has_sinks, Ordering::Relaxed);
+}
+
+/// True when events currently flow: the gate is enabled and a sink is installed.
+/// This is the one check instrumented hot paths pay when observability is off.
+#[inline]
+pub fn obs_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Attaches `sink` to the bus; it receives every record emitted from now on.
+pub fn install_sink(sink: Arc<dyn EventSink>) -> SinkId {
+    let id = SinkId(NEXT_SINK.fetch_add(1, Ordering::Relaxed));
+    SINKS
+        .write()
+        .expect("sink registry poisoned")
+        .push((id, sink));
+    refresh_active();
+    id
+}
+
+/// Detaches a sink. Returns whether it was still installed.
+pub fn remove_sink(id: SinkId) -> bool {
+    let removed = {
+        let mut sinks = SINKS.write().expect("sink registry poisoned");
+        let before = sinks.len();
+        sinks.retain(|(sink_id, _)| *sink_id != id);
+        sinks.len() != before
+    };
+    refresh_active();
+    removed
+}
+
+/// Number of installed sinks.
+pub fn sink_count() -> usize {
+    SINKS.read().expect("sink registry poisoned").len()
+}
+
+/// Emits `event` to every installed sink, returning the sequence id it was stamped
+/// with — or `None` when observability is inactive. Prefer [`emit_with`] on hot
+/// paths so the event is not even constructed when inactive.
+pub fn emit(event: ObsEvent) -> Option<u64> {
+    if !obs_active() {
+        return None;
+    }
+    let sinks = SINKS.read().expect("sink registry poisoned");
+    if sinks.is_empty() {
+        return None;
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let record = ObsRecord { seq, event };
+    for (_, sink) in sinks.iter() {
+        sink.record(&record);
+    }
+    Some(seq)
+}
+
+/// Builds and emits an event only when observability is active. The inactive cost is
+/// one relaxed load; `build` runs only on the active path.
+#[inline]
+pub fn emit_with(build: impl FnOnce() -> ObsEvent) -> Option<u64> {
+    if !obs_active() {
+        return None;
+    }
+    emit(build())
+}
+
+/// A sink appending each record as one canonical-JSON line to a buffered file.
+///
+/// Lines are flushed when the sink is dropped (or on [`flush`](Self::flush)); a
+/// write error panics, matching the workspace's artifact writers — observability
+/// files are developer-requested outputs, not best-effort logs.
+pub struct JsonlSink {
+    writer: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be created.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self {
+            writer: Mutex::new(std::io::BufWriter::new(file)),
+        })
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&self) {
+        self.writer
+            .lock()
+            .expect("jsonl writer poisoned")
+            .flush()
+            .expect("flush observability JSONL");
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn record(&self, record: &ObsRecord) {
+        let mut writer = self.writer.lock().expect("jsonl writer poisoned");
+        writer
+            .write_all(record.to_json().as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .expect("write observability JSONL");
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(writer) = self.writer.get_mut() {
+            let _ = writer.flush();
+        }
+    }
+}
+
+/// A bounded in-memory ring of the most recent records.
+///
+/// When full, the oldest record is dropped and counted — the ring never blocks or
+/// grows, so it is safe to leave installed across a large campaign.
+pub struct RingSink {
+    capacity: usize,
+    buffer: Mutex<VecDeque<ObsRecord>>,
+    dropped: AtomicU64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` records (at least one).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            buffer: Mutex::new(VecDeque::with_capacity(capacity)),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Removes and returns the buffered records, oldest first.
+    pub fn drain(&self) -> Vec<ObsRecord> {
+        self.buffer
+            .lock()
+            .expect("ring buffer poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Number of buffered (undrained) records.
+    pub fn len(&self) -> usize {
+        self.buffer.lock().expect("ring buffer poisoned").len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl EventSink for RingSink {
+    fn record(&self, record: &ObsRecord) {
+        let mut buffer = self.buffer.lock().expect("ring buffer poisoned");
+        if buffer.len() == self.capacity {
+            buffer.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buffer.push_back(record.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::set_obs_enabled;
+
+    #[test]
+    fn inactive_bus_never_builds_events() {
+        let _guard = crate::test_gate_lock();
+        set_obs_enabled(false);
+        let built = std::cell::Cell::new(false);
+        let seq = emit_with(|| {
+            built.set(true);
+            ObsEvent::SpanStart { name: "x".into() }
+        });
+        assert_eq!(seq, None);
+        assert!(!built.get(), "closure must not run while inactive");
+    }
+
+    #[test]
+    fn enabled_without_sinks_is_still_inactive() {
+        let _guard = crate::test_gate_lock();
+        set_obs_enabled(true);
+        // Other tests in this binary may have sinks installed; only assert when the
+        // bus is really bare.
+        if sink_count() == 0 {
+            assert!(!obs_active());
+            assert_eq!(emit(ObsEvent::SpanStart { name: "x".into() }), None);
+        }
+        set_obs_enabled(false);
+    }
+
+    #[test]
+    fn ring_records_and_bounds() {
+        let _guard = crate::test_gate_lock();
+        let ring = Arc::new(RingSink::new(2));
+        set_obs_enabled(true);
+        let id = install_sink(ring.clone());
+        assert!(obs_active());
+        for round in 0..3 {
+            emit(ObsEvent::Round {
+                phase: "regional".into(),
+                round,
+                games: 1,
+            });
+        }
+        assert!(remove_sink(id));
+        assert!(!remove_sink(id), "second removal is a no-op");
+        set_obs_enabled(false);
+        assert_eq!(ring.dropped(), 1);
+        let records = ring.drain();
+        assert_eq!(records.len(), 2);
+        assert!(records[0].seq < records[1].seq, "sequence ids are monotone");
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let path = std::env::temp_dir().join(format!("dg-obs-test-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).expect("create JSONL");
+        sink.record(&ObsRecord {
+            seq: 0,
+            event: ObsEvent::SpanStart { name: "a".into() },
+        });
+        sink.record(&ObsRecord {
+            seq: 1,
+            event: ObsEvent::SpanEnd {
+                name: "a".into(),
+                start_seq: 0,
+            },
+        });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"seq\":0,\"type\":\"span_start\""));
+        assert!(lines[1].contains("\"start_seq\":0"));
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+}

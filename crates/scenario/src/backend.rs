@@ -4,6 +4,7 @@ use crate::spec::ScenarioSpec;
 use crate::timeline::Timeline;
 use dg_cloudsim::{CostTracker, ExecutionSpec, InterferenceProfile, ObservedRun, SimTime, VmType};
 use dg_exec::{BackendProvider, ExecutionBackend, GameBatchItem, GamePlay, GameRules};
+use dg_obs::{emit_with, ObsEvent};
 
 /// The pivot interference sensitivity for [`ScenarioSpec::load_coupling`]: a spec
 /// with exactly this sensitivity feels the nominal load factor under full coupling.
@@ -81,7 +82,12 @@ impl ScenarioBackend {
     pub fn new(inner: Box<dyn ExecutionBackend>, scenario: ScenarioSpec, seed: u64) -> Self {
         scenario.validate();
         let base_vm = inner.vm();
-        Self::with_speed(inner, scenario, seed, 1.0, base_vm)
+        let backend = Self::with_speed(inner, scenario, seed, 1.0, base_vm);
+        emit_with(|| ObsEvent::ScenarioTimeline {
+            scenario: backend.spec.name.clone(),
+            preemptions: backend.timeline.preemptions().len(),
+        });
+        backend
     }
 
     fn with_speed(
@@ -204,6 +210,10 @@ impl ScenarioBackend {
                 // The node was idle when this preemption fired; nothing to lose.
                 Some(&(at, _)) if at < t => self.next_preemption += 1,
                 Some(&(at, downtime)) if at < t + base_elapsed => {
+                    emit_with(|| ObsEvent::PreemptionStrike {
+                        at,
+                        outage: downtime,
+                    });
                     total += (at - t) + downtime;
                     t = at + downtime;
                     self.next_preemption += 1;

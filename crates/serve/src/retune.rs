@@ -26,6 +26,7 @@ use crate::monitor::{ChampionMonitor, MonitorConfig};
 use dg_campaign::RetunePolicy;
 use dg_cloudsim::{mix, SimTime};
 use dg_exec::ExecutionBackend;
+use dg_obs::{emit_with, ObsEvent};
 use dg_stats::{DriftConfig, DriftDirection};
 use dg_tuners::{TunerRegistry, TuningBudget};
 use dg_workloads::{ConfigId, Workload};
@@ -242,6 +243,14 @@ impl<'a> RetuneLoop<'a> {
                 continue;
             };
             detections += 1;
+            emit_with(|| ObsEvent::RetuneDetection {
+                step,
+                at,
+                direction: match direction {
+                    DriftDirection::Up => "up".into(),
+                    DriftDirection::Down => "down".into(),
+                },
+            });
             events.push(RetuneEvent::Detection {
                 step,
                 at,
@@ -258,6 +267,11 @@ impl<'a> RetuneLoop<'a> {
                 .collect();
             if !freebies.is_empty() {
                 if let Some(candidate) = self.paired_winner(exec, &freebies, champion, at) {
+                    emit_with(|| ObsEvent::Retune {
+                        step,
+                        kind: "reselect".into(),
+                        accepted: true,
+                    });
                     events.push(RetuneEvent::Reselect {
                         step,
                         candidate,
@@ -306,6 +320,11 @@ impl<'a> RetuneLoop<'a> {
             // and whichever wins there (if any) replaces the incumbent.
             let candidates = top_candidates(&outcome, champion, TOURNAMENT_TOP_K);
             let winner = self.paired_winner(exec, &candidates, champion, at);
+            emit_with(|| ObsEvent::Retune {
+                step,
+                kind: "retune".into(),
+                accepted: winner.is_some(),
+            });
             events.push(RetuneEvent::Retune {
                 step,
                 candidate: winner.unwrap_or(outcome.chosen),

@@ -20,6 +20,8 @@
 //! * [`campaign`] — the parallel experiment-campaign runner ([`dg_campaign`]).
 //! * [`serve`] — online continuous retuning: champion drift detection and live
 //!   re-tournaments against the tune-once protocol ([`dg_serve`]).
+//! * [`obs`] — structured tracing, unified metrics, and live progress streaming
+//!   across the whole stack ([`dg_obs`]).
 //!
 //! # Quick example
 //!
@@ -41,6 +43,7 @@ pub use darwin_core as darwin;
 pub use dg_campaign as campaign;
 pub use dg_cloudsim as cloudsim;
 pub use dg_exec as exec;
+pub use dg_obs as obs;
 pub use dg_scenario as scenario;
 pub use dg_serve as serve;
 pub use dg_stats as stats;
@@ -53,9 +56,9 @@ pub mod prelude {
         AblationConfig, DarwinGame, HybridDarwinGame, TournamentConfig, TournamentReport,
     };
     pub use dg_campaign::{
-        default_workers, register_darwin_variant, standard_registry, Campaign, CampaignLab,
-        CampaignReport, CampaignSpec, ExperimentScale, LabError, LabOutcome, MergeError, ShardPlan,
-        ShardReport, ShardStrategy,
+        cell_cost_estimates, default_workers, register_darwin_variant, standard_registry, Campaign,
+        CampaignLab, CampaignReport, CampaignSpec, ExperimentScale, LabError, LabOutcome,
+        MergeError, ProgressMeter, ProgressUpdate, ShardPlan, ShardReport, ShardStrategy,
     };
     pub use dg_cloudsim::{
         CloudEnvironment, DedicatedEnvironment, ExecutionSpec, InterferenceProfile, SimRng,
@@ -66,6 +69,10 @@ pub mod prelude {
         GameRules, MemoBackend, ProcessBackend, ProcessError, ProcessProvider, SimBackend,
         SurrogateBackend, SurrogateConfig, SurrogateProvider, SurrogateStats, TimingSource,
         TraceRecorder, TraceReplayer,
+    };
+    pub use dg_obs::{
+        emit, emit_with, install_sink, obs_enabled, remove_sink, set_obs_enabled, EventSink,
+        JsonlSink, MetricsSnapshot, ObsEvent, ObsRecord, RingSink, SinkId, Span,
     };
     pub use dg_scenario::{ScenarioBackend, ScenarioEvent, ScenarioProvider, ScenarioSpec};
     pub use dg_serve::{
